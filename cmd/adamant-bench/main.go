@@ -1,0 +1,167 @@
+// Command adamant-bench regenerates the paper's evaluation artifacts:
+// Tables 1-2 and Figures 4-21 (see DESIGN.md for the experiment index).
+//
+// QoS figures (4-17) run on the deterministic network simulator; the ANN
+// figures (18-21) need the labeled training set, which either comes from
+// -dataset <csv> (generate one with adamant-dataset) or is built on the
+// fly with -combos.
+//
+// Examples:
+//
+//	adamant-bench -fig 4              # one figure
+//	adamant-bench -all                # everything (takes a while)
+//	adamant-bench -fig 19 -dataset data/training.csv
+//	adamant-bench -fig 5 -samples 20000 -runs 5   # paper-scale workload
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"adamant/internal/experiment"
+)
+
+func main() {
+	var (
+		figFlag   = flag.String("fig", "", "figure/table to regenerate: 4..21, 't1', 't2', or comma list")
+		all       = flag.Bool("all", false, "regenerate every table and figure")
+		samples   = flag.Int("samples", 2000, "samples per run (paper: 20000)")
+		runs      = flag.Int("runs", 5, "runs per configuration (paper: 5)")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		dataset   = flag.String("dataset", "", "training-set CSV for figures 18-21 (default: build a small one)")
+		combos    = flag.Int("combos", 48, "environment combos when building a dataset on the fly (paper: 197)")
+		csvOut    = flag.Bool("csv", false, "emit CSV instead of ASCII tables")
+		ablations = flag.Bool("ablations", false, "also run the design-choice ablation studies (A1-A5)")
+		verbose   = flag.Bool("v", false, "progress logging")
+	)
+	flag.Parse()
+	if *ablations {
+		tables, err := experiment.Ablations(experiment.AblationOptions{Samples: *samples, Seed: *seed})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adamant-bench:", err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			if *csvOut {
+				fmt.Printf("# %s — %s\n%s\n", t.ID, t.Title, t.CSV())
+			} else {
+				fmt.Println(t.Format())
+			}
+		}
+		if *figFlag == "" && !*all {
+			return
+		}
+	}
+	if err := run(*figFlag, *all, *samples, *runs, *seed, *dataset, *combos, *csvOut, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "adamant-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(figFlag string, all bool, samples, runs int, seed int64, dataset string,
+	combos int, csvOut, verbose bool) error {
+	var wanted []string
+	switch {
+	case all:
+		wanted = append(wanted, "t1", "t2")
+		for f := 4; f <= 21; f++ {
+			wanted = append(wanted, strconv.Itoa(f))
+		}
+	case figFlag != "":
+		for _, f := range strings.Split(figFlag, ",") {
+			wanted = append(wanted, strings.TrimSpace(f))
+		}
+	default:
+		return fmt.Errorf("nothing to do: pass -fig or -all")
+	}
+	progress := func(string, ...any) {}
+	if verbose {
+		progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	needQoS, needANN := false, false
+	for _, f := range wanted {
+		if n, err := strconv.Atoi(f); err == nil {
+			if n >= 4 && n <= 17 {
+				needQoS = true
+			}
+			if n >= 18 && n <= 21 {
+				needANN = true
+			}
+		}
+	}
+
+	var qos *experiment.QoSFigures
+	if needQoS {
+		var err error
+		qos, err = experiment.RunQoSFigures(experiment.QoSOptions{
+			Samples: samples, Runs: runs, Seed: seed, Progress: progress,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	var rows []experiment.Row
+	if needANN {
+		var err error
+		if dataset != "" {
+			rows, err = experiment.ReadCSVFile(dataset)
+		} else {
+			progress("building %d-combo dataset (pass -dataset to reuse a generated one)", combos)
+			rows, err = experiment.BuildDataset(experiment.DatasetOptions{
+				Combos: combos, Seed: seed, Progress: progress,
+			})
+		}
+		if err != nil {
+			return err
+		}
+	}
+
+	emit := func(t experiment.Table) {
+		if csvOut {
+			fmt.Printf("# %s — %s\n%s\n", t.ID, t.Title, t.CSV())
+		} else {
+			fmt.Println(t.Format())
+		}
+	}
+	annOpts := experiment.ANNOptions{Seed: seed, Progress: progress}
+	for _, f := range wanted {
+		switch f {
+		case "t1", "T1":
+			emit(experiment.EnvironmentTable())
+			continue
+		case "t2", "T2":
+			emit(experiment.ApplicationTable())
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil {
+			return fmt.Errorf("unknown figure %q", f)
+		}
+		var tab experiment.Table
+		switch {
+		case n >= 4 && n <= 17:
+			tab, err = qos.Figure(n)
+		case n == 18:
+			tab, err = experiment.Figure18(rows, annOpts)
+		case n == 19:
+			tab, err = experiment.Figure19(rows, annOpts)
+		case n == 20:
+			tab, err = experiment.Figure20(rows, annOpts)
+		case n == 21:
+			tab, err = experiment.Figure21(rows, annOpts)
+		default:
+			return fmt.Errorf("figure %d out of range (4-21)", n)
+		}
+		if err != nil {
+			return err
+		}
+		emit(tab)
+	}
+	return nil
+}

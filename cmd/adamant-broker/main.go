@@ -1,0 +1,34 @@
+// Command adamant-broker runs the NATS-style pub/sub broker used by the
+// real-network examples (the "conventional cloud pub/sub" contrast to the
+// QoS-enabled DDS/ANT stack).
+//
+//	adamant-broker -addr :4222
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"adamant/internal/broker"
+)
+
+func main() {
+	addr := flag.String("addr", ":4222", "listen address")
+	flag.Parse()
+	srv := broker.NewServer()
+	if err := srv.ListenAndServe(*addr); err != nil {
+		fmt.Fprintln(os.Stderr, "adamant-broker:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("adamant-broker listening on %s\n", srv.Addr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	srv.Shutdown()
+	st := srv.Stats()
+	fmt.Printf("shut down: %d connections, %d msgs in, %d msgs out\n",
+		st.Connections, st.MsgsIn, st.MsgsOut)
+}

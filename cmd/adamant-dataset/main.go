@@ -1,0 +1,47 @@
+// Command adamant-dataset generates the labeled training set the paper's
+// supervised-learning configurator is built from: it sweeps sampled
+// environment combinations (Table 1 x Table 2), runs every candidate
+// transport protocol over each, and labels the winner under both composite
+// QoS metrics. The paper's training set had 394 inputs (197 environments x
+// 2 metrics); -combos 197 reproduces that shape.
+//
+//	adamant-dataset -o data/training.csv -combos 197 -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"adamant/internal/experiment"
+)
+
+func main() {
+	var (
+		out     = flag.String("o", "training.csv", "output CSV path")
+		combos  = flag.Int("combos", 197, "environment combinations to sample (x2 metrics = rows)")
+		runs    = flag.Int("runs", 3, "runs per (environment, protocol)")
+		samples = flag.Int("samples", 600, "samples per run")
+		seed    = flag.Int64("seed", 1, "sampling and simulation seed")
+		verbose = flag.Bool("v", false, "progress logging")
+	)
+	flag.Parse()
+	progress := func(string, ...any) {}
+	if *verbose {
+		progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	rows, err := experiment.BuildDataset(experiment.DatasetOptions{
+		Combos: *combos, Runs: *runs, Samples: *samples, Seed: *seed, Progress: progress,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adamant-dataset:", err)
+		os.Exit(1)
+	}
+	if err := experiment.WriteCSVFile(*out, rows); err != nil {
+		fmt.Fprintln(os.Stderr, "adamant-dataset:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d rows to %s\n", len(rows), *out)
+}

@@ -1,0 +1,84 @@
+// Command adamant-probe runs the ADAMANT startup flow on the local host:
+// probe computing and networking resources, map them onto the trained
+// environment grid, and (given a trained network from adamant-train)
+// recommend the transport protocol configuration.
+//
+//	adamant-probe                                  # probe only
+//	adamant-probe -ann adamant.ann -receivers 9 -rate 25 -loss 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"adamant/internal/ann"
+	"adamant/internal/core"
+	"adamant/internal/dds"
+	"adamant/internal/probe"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "adamant-probe:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		annPath   = flag.String("ann", "", "trained network from adamant-train (optional)")
+		receivers = flag.Int("receivers", 3, "expected data readers")
+		rate      = flag.Float64("rate", 25, "data sending rate, Hz")
+		loss      = flag.Float64("loss", 2, "expected end-host loss, percent")
+		implName  = flag.String("impl", "opensplice", "middleware profile: opendds|opensplice")
+		metric    = flag.String("metric", "ReLate2", "metric of interest: ReLate2|ReLate2Jit")
+	)
+	flag.Parse()
+
+	src := probe.RealSource{}
+	info, err := src.Probe()
+	if err != nil {
+		return err
+	}
+	machine := probe.NearestMachine(info)
+	bw := probe.NearestBandwidth(info)
+	fmt.Printf("probed: %s\n", info)
+	fmt.Printf("nearest trained machine profile: %s (%d MHz)\n", machine.Name, machine.MHz)
+	fmt.Printf("nearest trained bandwidth: %s\n", bw)
+
+	if *annPath == "" {
+		fmt.Println("no -ann network given; probe only")
+		return nil
+	}
+	net, err := ann.LoadFile(*annPath)
+	if err != nil {
+		return err
+	}
+	selector, err := core.NewANNSelector(net)
+	if err != nil {
+		return err
+	}
+	impl, err := dds.ImplByName(*implName)
+	if err != nil {
+		return err
+	}
+	m := core.MetricReLate2
+	if *metric == core.MetricReLate2Jit.String() {
+		m = core.MetricReLate2Jit
+	}
+	ctl, err := core.NewController(src, selector, core.AppParams{
+		Receivers: *receivers, RateHz: *rate, LossPct: *loss, Impl: impl, Metric: m,
+	})
+	if err != nil {
+		return err
+	}
+	d, err := ctl.Decide()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("features: %s\n", d.Features)
+	fmt.Printf("recommended transport: %s\n", d.Spec)
+	fmt.Printf("decision time: probe=%v select=%v\n", d.ProbeTime, d.SelectTime)
+	return nil
+}

@@ -1,0 +1,107 @@
+// Command adamant-train trains and evaluates the ADAMANT neural-network
+// configurator on a labeled dataset (from adamant-dataset):
+//
+//	adamant-train -dataset data/training.csv -hidden 24 -save adamant.ann
+//	adamant-train -dataset data/training.csv -cv            # 10-fold CV
+//	adamant-train -dataset data/training.csv -sweep         # Figures 18/19
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"adamant/internal/ann"
+	"adamant/internal/core"
+	"adamant/internal/experiment"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "adamant-train:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		dataset   = flag.String("dataset", "", "training CSV (required)")
+		hidden    = flag.Int("hidden", 24, "hidden nodes (paper's best: 24)")
+		stopError = flag.Float64("stop", 1e-4, "MSE stopping error")
+		maxEpochs = flag.Int("epochs", 2000, "max training epochs")
+		seed      = flag.Int64("seed", 1, "weight-init seed")
+		save      = flag.String("save", "", "write the trained network to this path")
+		cv        = flag.Bool("cv", false, "10-fold cross-validation instead of full training")
+		sweep     = flag.Bool("sweep", false, "hidden-node sweep (Figures 18 and 19)")
+		verbose   = flag.Bool("v", false, "progress logging")
+	)
+	flag.Parse()
+	if *dataset == "" {
+		return fmt.Errorf("pass -dataset <csv> (generate one with adamant-dataset)")
+	}
+	rows, err := experiment.ReadCSVFile(*dataset)
+	if err != nil {
+		return err
+	}
+	progress := func(string, ...any) {}
+	if *verbose {
+		progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	opts := experiment.ANNOptions{
+		StopError: *stopError, MaxEpochs: *maxEpochs, Seed: *seed, Progress: progress,
+	}
+
+	if *sweep {
+		for _, fig := range []func([]experiment.Row, experiment.ANNOptions) (experiment.Table, error){
+			experiment.Figure18, experiment.Figure19,
+		} {
+			tab, err := fig(rows, opts)
+			if err != nil {
+				return err
+			}
+			fmt.Println(tab.Format())
+		}
+		return nil
+	}
+
+	ds := experiment.ToANNDataset(rows)
+	cfg := ann.Config{Layers: []int{core.NumInputs, *hidden, core.NumCandidates}, Seed: *seed}
+	if *cv {
+		res, err := ann.CrossValidate(cfg, ds, 10, ann.TrainOptions{
+			MaxEpochs: *maxEpochs, DesiredError: *stopError,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("10-fold CV: mean accuracy %.2f%% (train %.2f%%)\n",
+			100*res.MeanAccuracy, 100*res.TrainAccuracy)
+		for i, a := range res.FoldAccuracy {
+			fmt.Printf("  fold %2d: %.2f%%\n", i+1, 100*a)
+		}
+		return nil
+	}
+
+	net, err := ann.New(cfg)
+	if err != nil {
+		return err
+	}
+	tr, err := net.Train(ds, ann.TrainOptions{MaxEpochs: *maxEpochs, DesiredError: *stopError})
+	if err != nil {
+		return err
+	}
+	acc, err := net.Accuracy(ds)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trained %d rows: epochs=%d mse=%.6f converged=%v accuracy=%.2f%%\n",
+		ds.Len(), tr.Epochs, tr.MSE, tr.Converged, 100*acc)
+	if *save != "" {
+		if err := net.SaveFile(*save); err != nil {
+			return err
+		}
+		fmt.Printf("saved network to %s\n", *save)
+	}
+	return nil
+}

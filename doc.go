@@ -1,0 +1,20 @@
+// Package adamant is a from-scratch Go implementation of ADAMANT — the
+// ADAptive Middleware And Network Transports platform from "Adapting
+// Distributed Real-Time and Embedded Pub/Sub Middleware for Cloud Computing
+// Environments" (Hoffert, Schmidt, Gokhale; Middleware 2010) — together
+// with every substrate the paper's evaluation depends on: a deterministic
+// discrete-event network emulator standing in for Emulab, a DDS-style
+// QoS-enabled pub/sub middleware with pluggable transports, the Ricochet
+// (lateral error correction) and NAKcast multicast protocols, a FANN-style
+// neural network, composite QoS metrics (ReLate2, ReLate2Jit), and the full
+// experiment harness that regenerates the paper's Tables 1-2 and
+// Figures 4-21.
+//
+// Start with README.md for the layout, DESIGN.md for the system inventory
+// and per-experiment index, and EXPERIMENTS.md for paper-versus-measured
+// results. The root package holds the repository-level benchmark suite
+// (bench_test.go): one benchmark per paper table and figure.
+package adamant
+
+// Version identifies this reproduction release.
+const Version = "1.0.0"

@@ -1,0 +1,100 @@
+// Turbulent: runtime autonomic adaptation — the paper's future-work section
+// made concrete ("When the system detects environmental changes (e.g.,
+// increase in number of receivers or increase in sending rate), supervised
+// machine learning can provide guidance to support QoS for the new
+// configuration").
+//
+// A datacenter starts small: 3 subscribers on a pc3000/1Gb cloud at 25 Hz,
+// and ADAMANT configures Ricochet. Mid-mission the disaster-recovery
+// operation scales out — 12 more fusion applications subscribe and the
+// sending rate drops to 10 Hz for wide-area scanning. The adaptation
+// manager notices the drift, re-queries the (constant-time) selector, and
+// swaps the transport for the next mission phase without operator action.
+//
+//	go run ./examples/turbulent
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"adamant/internal/core"
+	"adamant/internal/dds"
+	"adamant/internal/env"
+	"adamant/internal/netem"
+	"adamant/internal/sim"
+	"adamant/internal/transport"
+)
+
+// missionSelector encodes the trained knowledge base's decision boundary
+// for the pc850-class degraded cloud this mission runs on: NAKcast for
+// small reader sets, Ricochet once lateral repair has enough peers to pay
+// off. (examples/autoconfig shows the same flow with a real trained ANN.)
+type missionSelector struct{}
+
+func (missionSelector) Select(f core.Features) (transport.Spec, error) {
+	if f.Receivers >= 10 {
+		return core.Candidates()[4], nil // ricochet(c=3,r=4)
+	}
+	return core.Candidates()[3], nil // nakcast(timeout=1ms)
+}
+
+func main() {
+	kernel := sim.New(99)
+	e := env.NewSim(kernel)
+
+	phase := 1
+	obs := core.Observation{Receivers: 3, RateHz: 25, LossPct: 2}
+	initial := core.Decision{
+		Features: core.FeaturesFor(netem.PC850, netem.Mbps100, dds.ImplB,
+			obs.LossPct, obs.Receivers, obs.RateHz, core.MetricReLate2),
+		Spec: core.Candidates()[3],
+	}
+	fmt.Printf("[t=%6s] phase %d: %d receivers @ %gHz -> boot transport %s\n",
+		dur(kernel), phase, obs.Receivers, obs.RateHz, initial.Spec)
+
+	adaptor, err := core.NewAdaptor(e, missionSelector{}, initial,
+		func() core.Observation { return obs },
+		func(d core.Decision) {
+			fmt.Printf("[t=%6s] ADAPT: environment drifted to %d receivers @ %gHz "+
+				"-> switching transport to %s\n",
+				dur(kernel), d.Features.Receivers, d.Features.RateHz, d.Spec)
+		},
+		core.AdaptorOptions{
+			Interval: 500 * time.Millisecond,
+			Cooldown: 2 * time.Second,
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer adaptor.Close()
+
+	// Mission timeline.
+	e.After(5*time.Second, func() {
+		phase = 2
+		obs = core.Observation{Receivers: 15, RateHz: 10, LossPct: 2}
+		fmt.Printf("[t=%6s] phase %d: scale-out — 12 more fusion apps subscribe, "+
+			"rate drops to %gHz for wide-area scanning\n", dur(kernel), phase, obs.RateHz)
+	})
+	e.After(12*time.Second, func() {
+		phase = 3
+		obs.LossPct = 4.5 // storm degrades the satellite uplink
+		fmt.Printf("[t=%6s] phase %d: uplink degradation — observed loss rises to %g%%\n",
+			dur(kernel), phase, obs.LossPct)
+	})
+
+	if err := kernel.RunFor(20 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+	st := adaptor.Stats()
+	fmt.Printf("\nadaptation manager: %d checks, %d drift triggers, %d reconfigurations, %d suppressed by cooldown\n",
+		st.Checks, st.Triggers, st.Reconfigures, st.Suppressed)
+	fmt.Printf("final configuration: for %s\n", adaptor.Current())
+
+	// The adaptation decision latency is the same bounded ANN/selector
+	// query measured in Figures 20/21 — which is why the paper argues this
+	// style of in-mission adaptation is viable for DRE systems.
+}
+
+func dur(k *sim.Kernel) time.Duration { return k.Now().Sub(sim.Epoch).Round(100 * time.Millisecond) }

@@ -1,0 +1,3 @@
+module adamant
+
+go 1.23

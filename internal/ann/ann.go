@@ -1,0 +1,557 @@
+// Package ann implements a small feed-forward artificial neural network in
+// the style of the FANN library the paper uses as ADAMANT's supervised-
+// learning knowledge base: fully connected layers, sigmoid activations with
+// configurable steepness, batch iRPROP- and incremental backpropagation
+// training with an MSE stopping error, a text save/load format, and k-fold
+// cross-validation helpers.
+//
+// Querying a trained network is a single forward pass over a fixed set of
+// connections — constant time, no allocation — which is what gives ADAMANT
+// its bounded (sub-10-microsecond) configuration decisions.
+package ann
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Config describes a network shape.
+type Config struct {
+	// Layers gives the neuron count per layer, input first, output last.
+	// Must have at least two layers.
+	Layers []int
+	// Steepness is the sigmoid steepness (FANN default 0.5).
+	Steepness float64
+	// Seed drives deterministic weight initialization.
+	Seed int64
+}
+
+func (c *Config) fillDefaults() {
+	if c.Steepness == 0 {
+		c.Steepness = 0.5
+	}
+}
+
+// Validate reports config errors.
+func (c Config) Validate() error {
+	if len(c.Layers) < 2 {
+		return errors.New("ann: need at least input and output layers")
+	}
+	for i, n := range c.Layers {
+		if n <= 0 {
+			return fmt.Errorf("ann: layer %d has %d neurons", i, n)
+		}
+	}
+	if c.Steepness < 0 {
+		return errors.New("ann: negative steepness")
+	}
+	return nil
+}
+
+// Network is a fully connected feed-forward net. Create with New or Load.
+// A Network is not safe for concurrent use.
+type Network struct {
+	layers    []int
+	steepness float64
+	// weights[l] connects layer l to l+1: (layers[l]+1) x layers[l+1]
+	// values, bias row last, laid out [in*outCount + out].
+	weights [][]float64
+
+	// Scratch buffers reused across Run calls (no allocation per query).
+	acts [][]float64
+	// Training scratch (allocated lazily).
+	deltas [][]float64
+	grads  [][]float64
+	prevG  [][]float64
+	stepSz [][]float64
+}
+
+// New builds a network with random weights in [-0.1, 0.1] (FANN-style
+// randomization range).
+func New(cfg Config) (*Network, error) {
+	cfg.fillDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{
+		layers:    append([]int(nil), cfg.Layers...),
+		steepness: cfg.Steepness,
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n.weights = make([][]float64, len(n.layers)-1)
+	for l := 0; l < len(n.layers)-1; l++ {
+		n.weights[l] = make([]float64, (n.layers[l]+1)*n.layers[l+1])
+		for i := range n.weights[l] {
+			n.weights[l][i] = (rng.Float64()*2 - 1) * 0.1
+		}
+	}
+	n.initScratch()
+	return n, nil
+}
+
+func (n *Network) initScratch() {
+	n.acts = make([][]float64, len(n.layers))
+	for i, sz := range n.layers {
+		n.acts[i] = make([]float64, sz)
+	}
+}
+
+// Layers returns a copy of the layer sizes.
+func (n *Network) Layers() []int { return append([]int(nil), n.layers...) }
+
+// NumConnections returns the total connection count including biases.
+func (n *Network) NumConnections() int {
+	total := 0
+	for l := 0; l < len(n.layers)-1; l++ {
+		total += (n.layers[l] + 1) * n.layers[l+1]
+	}
+	return total
+}
+
+func (n *Network) sigmoid(x float64) float64 {
+	return 1 / (1 + math.Exp(-2*n.steepness*x))
+}
+
+// Run computes the forward pass. The returned slice aliases internal
+// scratch and is valid until the next Run/Train call; copy to retain.
+func (n *Network) Run(input []float64) ([]float64, error) {
+	if len(input) != n.layers[0] {
+		return nil, fmt.Errorf("ann: input size %d, want %d", len(input), n.layers[0])
+	}
+	copy(n.acts[0], input)
+	for l := 0; l < len(n.layers)-1; l++ {
+		in, out := n.acts[l], n.acts[l+1]
+		w := n.weights[l]
+		outN := n.layers[l+1]
+		for o := 0; o < outN; o++ {
+			sum := w[len(in)*outN+o] // bias row
+			for i, v := range in {
+				sum += v * w[i*outN+o]
+			}
+			out[o] = n.sigmoid(sum)
+		}
+	}
+	return n.acts[len(n.acts)-1], nil
+}
+
+// Classify runs the input and returns the argmax output index.
+func (n *Network) Classify(input []float64) (int, error) {
+	out, err := n.Run(input)
+	if err != nil {
+		return 0, err
+	}
+	return argmax(out), nil
+}
+
+func argmax(xs []float64) int {
+	best := 0
+	for i, v := range xs {
+		if v > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Dataset is a supervised training set.
+type Dataset struct {
+	Inputs  [][]float64
+	Targets [][]float64
+}
+
+// Add appends one sample (copied).
+func (d *Dataset) Add(input, target []float64) {
+	d.Inputs = append(d.Inputs, append([]float64(nil), input...))
+	d.Targets = append(d.Targets, append([]float64(nil), target...))
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.Inputs) }
+
+// Subset returns the dataset restricted to the given sample indices
+// (sharing storage).
+func (d *Dataset) Subset(idx []int) *Dataset {
+	s := &Dataset{
+		Inputs:  make([][]float64, len(idx)),
+		Targets: make([][]float64, len(idx)),
+	}
+	for i, j := range idx {
+		s.Inputs[i] = d.Inputs[j]
+		s.Targets[i] = d.Targets[j]
+	}
+	return s
+}
+
+// OneHot builds a one-hot target vector of the given width.
+func OneHot(width, class int) []float64 {
+	t := make([]float64, width)
+	if class >= 0 && class < width {
+		t[class] = 1
+	}
+	return t
+}
+
+// Algorithm selects the training algorithm.
+type Algorithm int
+
+// Training algorithms.
+const (
+	// RPROP is batch iRPROP- (FANN's default training algorithm).
+	RPROP Algorithm = iota
+	// Incremental is classic online backpropagation with momentum.
+	Incremental
+)
+
+// TrainOptions tune Train.
+type TrainOptions struct {
+	// MaxEpochs bounds training. Default 5000.
+	MaxEpochs int
+	// DesiredError is the MSE stopping error (the paper uses 0.0001 for
+	// its best-performing configurations, 0.01 for the coarse ones).
+	DesiredError float64
+	// Algorithm selects RPROP (default) or Incremental.
+	Algorithm Algorithm
+	// LearningRate applies to Incremental. Default 0.7 (FANN default).
+	LearningRate float64
+	// Momentum applies to Incremental. Default 0.1.
+	Momentum float64
+}
+
+func (o *TrainOptions) fillDefaults() {
+	if o.MaxEpochs <= 0 {
+		o.MaxEpochs = 5000
+	}
+	if o.DesiredError <= 0 {
+		o.DesiredError = 1e-4
+	}
+	if o.LearningRate <= 0 {
+		o.LearningRate = 0.7
+	}
+	if o.Momentum < 0 {
+		o.Momentum = 0
+	} else if o.Momentum == 0 {
+		o.Momentum = 0.1
+	}
+}
+
+// TrainResult reports a training run.
+type TrainResult struct {
+	Epochs    int
+	MSE       float64
+	Converged bool // reached DesiredError before MaxEpochs
+}
+
+// Train fits the network to ds.
+func (n *Network) Train(ds *Dataset, opts TrainOptions) (TrainResult, error) {
+	opts.fillDefaults()
+	if ds.Len() == 0 {
+		return TrainResult{}, errors.New("ann: empty dataset")
+	}
+	for i := range ds.Inputs {
+		if len(ds.Inputs[i]) != n.layers[0] || len(ds.Targets[i]) != n.layers[len(n.layers)-1] {
+			return TrainResult{}, fmt.Errorf("ann: sample %d shape mismatch", i)
+		}
+	}
+	n.ensureTrainScratch()
+	var res TrainResult
+	for epoch := 1; epoch <= opts.MaxEpochs; epoch++ {
+		var mse float64
+		switch opts.Algorithm {
+		case RPROP:
+			mse = n.epochRPROP(ds)
+		case Incremental:
+			mse = n.epochIncremental(ds, opts.LearningRate, opts.Momentum)
+		default:
+			return res, fmt.Errorf("ann: unknown algorithm %d", opts.Algorithm)
+		}
+		res.Epochs = epoch
+		res.MSE = mse
+		if mse <= opts.DesiredError {
+			res.Converged = true
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+func (n *Network) ensureTrainScratch() {
+	if n.deltas != nil {
+		return
+	}
+	n.deltas = make([][]float64, len(n.layers))
+	for i, sz := range n.layers {
+		n.deltas[i] = make([]float64, sz)
+	}
+	n.grads = make([][]float64, len(n.weights))
+	n.prevG = make([][]float64, len(n.weights))
+	n.stepSz = make([][]float64, len(n.weights))
+	for l := range n.weights {
+		n.grads[l] = make([]float64, len(n.weights[l]))
+		n.prevG[l] = make([]float64, len(n.weights[l]))
+		n.stepSz[l] = make([]float64, len(n.weights[l]))
+		for i := range n.stepSz[l] {
+			n.stepSz[l][i] = 0.1 // RPROP delta0
+		}
+	}
+}
+
+// backprop runs one forward+backward pass accumulating gradients into
+// n.grads and returns the sample's summed squared error.
+func (n *Network) backprop(input, target []float64) float64 {
+	out, _ := n.Run(input)
+	last := len(n.layers) - 1
+	var sse float64
+	for o, v := range out {
+		err := target[o] - v
+		sse += err * err
+		// dE/dnet with sigmoid derivative (steepness-scaled).
+		n.deltas[last][o] = err * 2 * n.steepness * v * (1 - v)
+	}
+	for l := last - 1; l >= 1; l-- {
+		outN := n.layers[l+1]
+		w := n.weights[l]
+		for i := 0; i < n.layers[l]; i++ {
+			var sum float64
+			for o := 0; o < outN; o++ {
+				sum += n.deltas[l+1][o] * w[i*outN+o]
+			}
+			v := n.acts[l][i]
+			n.deltas[l][i] = sum * 2 * n.steepness * v * (1 - v)
+		}
+	}
+	for l := 0; l < len(n.weights); l++ {
+		outN := n.layers[l+1]
+		inN := n.layers[l]
+		g := n.grads[l]
+		for o := 0; o < outN; o++ {
+			d := n.deltas[l+1][o]
+			for i := 0; i < inN; i++ {
+				g[i*outN+o] += d * n.acts[l][i]
+			}
+			g[inN*outN+o] += d // bias
+		}
+	}
+	return sse
+}
+
+func (n *Network) epochRPROP(ds *Dataset) float64 {
+	for l := range n.grads {
+		clear(n.grads[l])
+	}
+	var sse float64
+	for s := range ds.Inputs {
+		sse += n.backprop(ds.Inputs[s], ds.Targets[s])
+	}
+	const (
+		etaPlus  = 1.2
+		etaMinus = 0.5
+		deltaMax = 50.0
+		deltaMin = 1e-6
+	)
+	for l := range n.weights {
+		w, g, pg, st := n.weights[l], n.grads[l], n.prevG[l], n.stepSz[l]
+		for i := range w {
+			sign := g[i] * pg[i]
+			switch {
+			case sign > 0:
+				st[i] = math.Min(st[i]*etaPlus, deltaMax)
+				w[i] += sgn(g[i]) * st[i]
+				pg[i] = g[i]
+			case sign < 0:
+				st[i] = math.Max(st[i]*etaMinus, deltaMin)
+				pg[i] = 0 // iRPROP-: skip update after a sign flip
+			default:
+				w[i] += sgn(g[i]) * st[i]
+				pg[i] = g[i]
+			}
+		}
+	}
+	return sse / float64(ds.Len()*n.layers[len(n.layers)-1])
+}
+
+func (n *Network) epochIncremental(ds *Dataset, rate, momentum float64) float64 {
+	var sse float64
+	for s := range ds.Inputs {
+		for l := range n.grads {
+			clear(n.grads[l])
+		}
+		sse += n.backprop(ds.Inputs[s], ds.Targets[s])
+		for l := range n.weights {
+			w, g, pg := n.weights[l], n.grads[l], n.prevG[l]
+			for i := range w {
+				step := rate*g[i] + momentum*pg[i]
+				w[i] += step
+				pg[i] = step
+			}
+		}
+	}
+	return sse / float64(ds.Len()*n.layers[len(n.layers)-1])
+}
+
+func sgn(x float64) float64 {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	}
+	return 0
+}
+
+// MSE returns the mean squared error over ds.
+func (n *Network) MSE(ds *Dataset) (float64, error) {
+	if ds.Len() == 0 {
+		return 0, errors.New("ann: empty dataset")
+	}
+	var sse float64
+	for s := range ds.Inputs {
+		out, err := n.Run(ds.Inputs[s])
+		if err != nil {
+			return 0, err
+		}
+		for o, v := range out {
+			e := ds.Targets[s][o] - v
+			sse += e * e
+		}
+	}
+	return sse / float64(ds.Len()*n.layers[len(n.layers)-1]), nil
+}
+
+// Accuracy returns the fraction of samples whose Classify matches the
+// target argmax.
+func (n *Network) Accuracy(ds *Dataset) (float64, error) {
+	if ds.Len() == 0 {
+		return 0, errors.New("ann: empty dataset")
+	}
+	correct := 0
+	for s := range ds.Inputs {
+		got, err := n.Classify(ds.Inputs[s])
+		if err != nil {
+			return 0, err
+		}
+		if got == argmax(ds.Targets[s]) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len()), nil
+}
+
+// Save writes the network in the text format read by Load.
+func (n *Network) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "ADAMANT-ANN 1\n")
+	fmt.Fprintf(bw, "steepness %s\n", strconv.FormatFloat(n.steepness, 'g', -1, 64))
+	fmt.Fprintf(bw, "layers")
+	for _, sz := range n.layers {
+		fmt.Fprintf(bw, " %d", sz)
+	}
+	fmt.Fprintln(bw)
+	for l, ws := range n.weights {
+		fmt.Fprintf(bw, "weights %d", l)
+		for _, v := range ws {
+			fmt.Fprintf(bw, " %s", strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// SaveFile writes the network to path.
+func (n *Network) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := n.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a network saved by Save.
+func Load(r io.Reader) (*Network, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	line := func() (string, error) {
+		if !sc.Scan() {
+			if err := sc.Err(); err != nil {
+				return "", err
+			}
+			return "", io.ErrUnexpectedEOF
+		}
+		return sc.Text(), nil
+	}
+	hdr, err := line()
+	if err != nil {
+		return nil, err
+	}
+	if !strings.HasPrefix(hdr, "ADAMANT-ANN 1") {
+		return nil, fmt.Errorf("ann: bad header %q", hdr)
+	}
+	stLine, err := line()
+	if err != nil {
+		return nil, err
+	}
+	var steep float64
+	if _, err := fmt.Sscanf(stLine, "steepness %g", &steep); err != nil {
+		return nil, fmt.Errorf("ann: bad steepness line %q: %w", stLine, err)
+	}
+	lyLine, err := line()
+	if err != nil {
+		return nil, err
+	}
+	fields := strings.Fields(lyLine)
+	if len(fields) < 3 || fields[0] != "layers" {
+		return nil, fmt.Errorf("ann: bad layers line %q", lyLine)
+	}
+	layers := make([]int, 0, len(fields)-1)
+	for _, f := range fields[1:] {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("ann: bad layer size %q: %w", f, err)
+		}
+		layers = append(layers, v)
+	}
+	n, err := New(Config{Layers: layers, Steepness: steep})
+	if err != nil {
+		return nil, err
+	}
+	for l := 0; l < len(layers)-1; l++ {
+		wl, err := line()
+		if err != nil {
+			return nil, err
+		}
+		fields := strings.Fields(wl)
+		want := (layers[l]+1)*layers[l+1] + 2
+		if len(fields) != want || fields[0] != "weights" || fields[1] != strconv.Itoa(l) {
+			return nil, fmt.Errorf("ann: bad weights line for layer %d (%d fields, want %d)",
+				l, len(fields), want)
+		}
+		for i, f := range fields[2:] {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("ann: bad weight %q: %w", f, err)
+			}
+			n.weights[l][i] = v
+		}
+	}
+	return n, nil
+}
+
+// LoadFile reads a network from path.
+func LoadFile(path string) (*Network, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,42 @@
+package ann_test
+
+import (
+	"fmt"
+
+	"adamant/internal/ann"
+)
+
+func Example() {
+	// Train a tiny network on XOR and query it — the same train/query
+	// cycle ADAMANT uses for protocol selection.
+	net, err := ann.New(ann.Config{Layers: []int{2, 6, 1}, Seed: 7})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	var ds ann.Dataset
+	ds.Add([]float64{0, 0}, []float64{0})
+	ds.Add([]float64{0, 1}, []float64{1})
+	ds.Add([]float64{1, 0}, []float64{1})
+	ds.Add([]float64{1, 1}, []float64{0})
+	res, err := net.Train(&ds, ann.TrainOptions{MaxEpochs: 3000, DesiredError: 0.001})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("converged:", res.Converged)
+	out, err := net.Run([]float64{1, 0})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("XOR(1,0) rounds to:", out[0] > 0.5)
+	// Output:
+	// converged: true
+	// XOR(1,0) rounds to: true
+}
+
+func ExampleOneHot() {
+	fmt.Println(ann.OneHot(4, 2))
+	// Output: [0 0 1 0]
+}

@@ -1,0 +1,83 @@
+package ann
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// KFold partitions sample indices 0..n-1 into k shuffled, mutually
+// exclusive folds whose sizes differ by at most one. The paper's Figure 19
+// uses 10-fold cross-validation: each fold serves once as the test set
+// while the other k-1 folds train.
+func KFold(n, k int, seed int64) ([][]int, error) {
+	if k < 2 {
+		return nil, errors.New("ann: k must be >= 2")
+	}
+	if n < k {
+		return nil, fmt.Errorf("ann: cannot split %d samples into %d folds", n, k)
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+	folds := make([][]int, k)
+	for i, v := range idx {
+		folds[i%k] = append(folds[i%k], v)
+	}
+	return folds, nil
+}
+
+// CVResult reports one cross-validation run.
+type CVResult struct {
+	// FoldAccuracy is the held-out classification accuracy per fold.
+	FoldAccuracy []float64
+	// MeanAccuracy averages FoldAccuracy.
+	MeanAccuracy float64
+	// TrainAccuracy is the mean training-set accuracy across folds
+	// (the "environments known a priori" number).
+	TrainAccuracy float64
+}
+
+// CrossValidate trains one fresh network per fold (same Config, fold-
+// dependent seed) and evaluates held-out accuracy — the paper's
+// "environments unknown until runtime" methodology.
+func CrossValidate(cfg Config, ds *Dataset, k int, opts TrainOptions) (CVResult, error) {
+	folds, err := KFold(ds.Len(), k, cfg.Seed)
+	if err != nil {
+		return CVResult{}, err
+	}
+	var res CVResult
+	for f, testIdx := range folds {
+		var trainIdx []int
+		for g, fold := range folds {
+			if g != f {
+				trainIdx = append(trainIdx, fold...)
+			}
+		}
+		foldCfg := cfg
+		foldCfg.Seed = cfg.Seed*1000 + int64(f)
+		net, err := New(foldCfg)
+		if err != nil {
+			return CVResult{}, err
+		}
+		trainSet := ds.Subset(trainIdx)
+		if _, err := net.Train(trainSet, opts); err != nil {
+			return CVResult{}, err
+		}
+		testAcc, err := net.Accuracy(ds.Subset(testIdx))
+		if err != nil {
+			return CVResult{}, err
+		}
+		trainAcc, err := net.Accuracy(trainSet)
+		if err != nil {
+			return CVResult{}, err
+		}
+		res.FoldAccuracy = append(res.FoldAccuracy, testAcc)
+		res.MeanAccuracy += testAcc / float64(k)
+		res.TrainAccuracy += trainAcc / float64(k)
+	}
+	return res, nil
+}

@@ -1,0 +1,268 @@
+package broker
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Msg is one message delivered to a subscription handler.
+type Msg struct {
+	Subject string
+	Data    []byte
+}
+
+// Handler receives messages for a subscription. Handlers run on the
+// client's reader goroutine; slow handlers delay subsequent messages.
+type Handler func(Msg)
+
+// Client is a broker client. All methods are safe for concurrent use.
+type Client struct {
+	conn net.Conn
+
+	wmu sync.Mutex // serializes writes
+
+	mu      sync.Mutex
+	subs    map[string]*Subscription
+	nextSID uint64
+	pongs   []chan struct{}
+	closed  bool
+	readErr error
+	done    chan struct{}
+}
+
+// Dial connects to a broker at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("broker: dial %s: %w", addr, err)
+	}
+	return NewClient(conn)
+}
+
+// NewClient wraps an established connection (useful with net.Pipe in
+// tests).
+func NewClient(conn net.Conn) (*Client, error) {
+	c := &Client{
+		conn: conn,
+		subs: make(map[string]*Subscription),
+		done: make(chan struct{}),
+	}
+	if err := c.sendf("CONNECT client\r\n"); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Subscription is a live subscription.
+type Subscription struct {
+	client  *Client
+	sid     string
+	Pattern string
+	Queue   string
+	handler Handler
+}
+
+// Subscribe registers handler for every message matching pattern.
+func (c *Client) Subscribe(pattern string, handler Handler) (*Subscription, error) {
+	return c.subscribe(pattern, "", handler)
+}
+
+// QueueSubscribe registers handler as a member of the named queue group:
+// each message is delivered to exactly one member of the group.
+func (c *Client) QueueSubscribe(pattern, queue string, handler Handler) (*Subscription, error) {
+	if queue == "" {
+		return nil, errors.New("broker: empty queue group")
+	}
+	return c.subscribe(pattern, queue, handler)
+}
+
+func (c *Client) subscribe(pattern, queue string, handler Handler) (*Subscription, error) {
+	if handler == nil {
+		return nil, errors.New("broker: nil handler")
+	}
+	if err := ValidatePattern(pattern); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	c.nextSID++
+	sid := strconv.FormatUint(c.nextSID, 10)
+	sub := &Subscription{client: c, sid: sid, Pattern: pattern, Queue: queue, handler: handler}
+	c.subs[sid] = sub
+	c.mu.Unlock()
+
+	var err error
+	if queue == "" {
+		err = c.sendf("SUB %s %s\r\n", pattern, sid)
+	} else {
+		err = c.sendf("SUB %s %s %s\r\n", pattern, queue, sid)
+	}
+	if err != nil {
+		c.mu.Lock()
+		delete(c.subs, sid)
+		c.mu.Unlock()
+		return nil, err
+	}
+	return sub, nil
+}
+
+// Unsubscribe removes the subscription.
+func (s *Subscription) Unsubscribe() error {
+	c := s.client
+	c.mu.Lock()
+	delete(c.subs, s.sid)
+	c.mu.Unlock()
+	return c.sendf("UNSUB %s\r\n", s.sid)
+}
+
+// Publish sends data on subject.
+func (c *Client) Publish(subject string, data []byte) error {
+	if err := ValidateSubject(subject); err != nil {
+		return err
+	}
+	if len(data) > MaxPayload {
+		return fmt.Errorf("broker: payload %d exceeds max %d", len(data), MaxPayload)
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if _, err := fmt.Fprintf(c.conn, "PUB %s %d\r\n", subject, len(data)); err != nil {
+		return err
+	}
+	if _, err := c.conn.Write(data); err != nil {
+		return err
+	}
+	_, err := io.WriteString(c.conn, "\r\n")
+	return err
+}
+
+// Flush round-trips a PING/PONG, guaranteeing the broker has processed
+// everything sent before the call.
+func (c *Client) Flush(timeout time.Duration) error {
+	ch := make(chan struct{}, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClientClosed
+	}
+	c.pongs = append(c.pongs, ch)
+	c.mu.Unlock()
+	if err := c.sendf("PING\r\n"); err != nil {
+		return err
+	}
+	select {
+	case <-ch:
+		return nil
+	case <-time.After(timeout):
+		return errors.New("broker: flush timeout")
+	case <-c.done:
+		return c.err()
+	}
+}
+
+// ErrClientClosed is returned by operations on a closed client.
+var ErrClientClosed = errors.New("broker: client closed")
+
+// Close tears the connection down.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	<-c.done
+	return err
+}
+
+func (c *Client) err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.readErr != nil {
+		return c.readErr
+	}
+	return ErrClientClosed
+}
+
+func (c *Client) sendf(format string, args ...any) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	_, err := fmt.Fprintf(c.conn, format, args...)
+	return err
+}
+
+func (c *Client) readLoop() {
+	defer func() {
+		c.mu.Lock()
+		c.closed = true
+		pongs := c.pongs
+		c.pongs = nil
+		c.mu.Unlock()
+		for _, ch := range pongs {
+			close(ch)
+		}
+		close(c.done)
+	}()
+	r := bufio.NewReaderSize(c.conn, 64*1024)
+	for {
+		line, err := readLine(r)
+		if err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			c.mu.Unlock()
+			return
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "PONG":
+			c.mu.Lock()
+			if len(c.pongs) > 0 {
+				ch := c.pongs[0]
+				c.pongs = c.pongs[1:]
+				c.mu.Unlock()
+				ch <- struct{}{}
+			} else {
+				c.mu.Unlock()
+			}
+		case "MSG":
+			if len(fields) != 4 {
+				continue
+			}
+			n, err := strconv.Atoi(fields[3])
+			if err != nil || n < 0 || n > MaxPayload {
+				return
+			}
+			payload := make([]byte, n)
+			if _, err := io.ReadFull(r, payload); err != nil {
+				return
+			}
+			if err := consumeCRLF(r); err != nil {
+				return
+			}
+			c.mu.Lock()
+			sub := c.subs[fields[2]]
+			c.mu.Unlock()
+			if sub != nil {
+				sub.handler(Msg{Subject: fields[1], Data: payload})
+			}
+		case "-ERR":
+			// Protocol errors are surfaced on the next Flush; keep reading.
+		}
+	}
+}

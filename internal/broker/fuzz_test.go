@@ -1,0 +1,32 @@
+package broker
+
+import "testing"
+
+// FuzzMatch asserts subject matching is total and that exact subjects
+// always match themselves when valid.
+func FuzzMatch(f *testing.F) {
+	f.Add("a.b.c", "a.*.c")
+	f.Add("x", ">")
+	f.Add("", "")
+	f.Fuzz(func(t *testing.T, subject, pattern string) {
+		_ = Match(subject, pattern) // must not panic
+		if ValidateSubject(subject) == nil && !Match(subject, subject) {
+			t.Fatalf("valid subject %q does not match itself", subject)
+		}
+	})
+}
+
+// FuzzValidatePattern asserts validation is total and consistent: every
+// valid publish subject is also a valid subscription pattern.
+func FuzzValidatePattern(f *testing.F) {
+	f.Add("a.b")
+	f.Add("a.>")
+	f.Add("*.*")
+	f.Fuzz(func(t *testing.T, s string) {
+		subErr := ValidateSubject(s)
+		patErr := ValidatePattern(s)
+		if subErr == nil && patErr != nil {
+			t.Fatalf("%q is a valid subject but invalid pattern: %v", s, patErr)
+		}
+	})
+}

@@ -1,0 +1,144 @@
+package broker_test
+
+import (
+	"bufio"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"adamant/internal/broker"
+)
+
+// rawConn speaks the wire protocol directly, for exercising the server's
+// error handling against malformed and hostile input.
+type rawConn struct {
+	t    *testing.T
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+func dialRaw(t *testing.T, addr string) *rawConn {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &rawConn{t: t, conn: conn, r: bufio.NewReader(conn)}
+}
+
+func (c *rawConn) send(s string) {
+	c.t.Helper()
+	if _, err := c.conn.Write([]byte(s)); err != nil {
+		c.t.Fatal(err)
+	}
+}
+
+func (c *rawConn) expectLine(prefix string) string {
+	c.t.Helper()
+	if err := c.conn.SetReadDeadline(time.Now().Add(2 * time.Second)); err != nil {
+		c.t.Fatal(err)
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		c.t.Fatalf("reading line (want prefix %q): %v", prefix, err)
+	}
+	line = strings.TrimRight(line, "\r\n")
+	if !strings.HasPrefix(line, prefix) {
+		c.t.Fatalf("got line %q, want prefix %q", line, prefix)
+	}
+	return line
+}
+
+func TestServerProtocolErrors(t *testing.T) {
+	_, addr := startServer(t)
+	c := dialRaw(t, addr)
+
+	c.send("BOGUS command\r\n")
+	c.expectLine("-ERR unknown command")
+
+	c.send("SUB onlypattern\r\n") // missing sid
+	c.expectLine("-ERR SUB requires")
+
+	c.send("SUB a.>.b 1\r\n") // invalid pattern
+	c.expectLine("-ERR")
+
+	c.send("UNSUB\r\n") // missing sid
+	c.expectLine("-ERR UNSUB requires")
+
+	c.send("PUB missing.size\r\n")
+	c.expectLine("-ERR PUB requires")
+
+	// The connection must still be fully usable after all that.
+	c.send("PING\r\n")
+	c.expectLine("PONG")
+}
+
+func TestServerRejectsBadPayloadSize(t *testing.T) {
+	_, addr := startServer(t)
+	c := dialRaw(t, addr)
+	c.send("PUB subj notanumber\r\n")
+	c.expectLine("-ERR bad payload size")
+	// The server drops the connection after an unframeable PUB (it cannot
+	// know where the payload ends).
+	if err := c.conn.SetReadDeadline(time.Now().Add(2 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.r.ReadString('\n'); err == nil {
+		t.Error("connection still open after unframeable PUB")
+	}
+}
+
+func TestServerWildcardPublishRejected(t *testing.T) {
+	_, addr := startServer(t)
+	c := dialRaw(t, addr)
+	c.send("PUB wild.* 2\r\nhi\r\n")
+	c.expectLine("-ERR")
+	c.send("PING\r\n")
+	c.expectLine("PONG")
+}
+
+func TestServerQueueSubAndMessageFraming(t *testing.T) {
+	srv, addr := startServer(t)
+	c := dialRaw(t, addr)
+	c.send("CONNECT rawclient\r\n")
+	c.send("SUB jobs.* workers 7\r\n")
+	c.send("PING\r\n")
+	c.expectLine("PONG")
+	if srv.NumSubscriptions() != 1 {
+		t.Fatalf("subscriptions = %d", srv.NumSubscriptions())
+	}
+
+	pub := dial(t, addr)
+	if err := pub.Publish("jobs.detect", []byte("payload-x")); err != nil {
+		t.Fatal(err)
+	}
+	c.expectLine("MSG jobs.detect 7 9")
+	if err := c.conn.SetReadDeadline(time.Now().Add(2 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	body := make([]byte, 11) // payload + CRLF
+	if _, err := io.ReadFull(c.r, body); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(body); !strings.HasPrefix(got, "payload-x") {
+		t.Errorf("payload framing wrong: %q", got)
+	}
+}
+
+func TestValidateSubjectTable(t *testing.T) {
+	valid := []string{"a", "a.b", "sensors.uav1.infrared"}
+	for _, s := range valid {
+		if err := broker.ValidateSubject(s); err != nil {
+			t.Errorf("ValidateSubject(%q) = %v", s, err)
+		}
+	}
+	invalid := []string{"", ".", "a..b", "a b", "a.*", ">", "a\tb", "a\nb"}
+	for _, s := range invalid {
+		if err := broker.ValidateSubject(s); err == nil {
+			t.Errorf("ValidateSubject(%q) accepted", s)
+		}
+	}
+}

@@ -1,0 +1,361 @@
+// Package broker implements a NATS-style TCP publish/subscribe broker and
+// client: subject-based routing with '*'/'>' wildcards and queue groups
+// over a line-oriented protocol.
+//
+// The broker plays two roles in this repository. It is the "conventional
+// cloud pub/sub" contrast the paper draws (JMS/WS-Notification-class
+// systems offer subject routing but no fine-grained QoS or transport
+// configurability), and it gives the runnable examples a real-socket data
+// path alongside the simulated DDS/ANT stack.
+//
+// Wire protocol (text, CRLF-terminated control lines):
+//
+//	C->S: CONNECT <name>
+//	C->S: SUB <subject> [queue] <sid>
+//	C->S: UNSUB <sid>
+//	C->S: PUB <subject> <nbytes>\r\n<payload>
+//	C->S: PING               S->C: PONG
+//	S->C: MSG <subject> <sid> <nbytes>\r\n<payload>
+//	S->C: -ERR <message>
+package broker
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// MaxPayload bounds a single message payload.
+const MaxPayload = 1 << 20
+
+// ServerStats are cumulative broker counters.
+type ServerStats struct {
+	Connections   uint64
+	MsgsIn        uint64
+	MsgsOut       uint64
+	BytesIn       uint64
+	BytesOut      uint64
+	Subscriptions uint64
+}
+
+// Server is the broker. Create with NewServer, start with Serve or
+// ListenAndServe, stop with Shutdown.
+type Server struct {
+	mu       sync.Mutex
+	ln       net.Listener
+	clients  map[*serverClient]struct{}
+	subs     map[*serverSub]struct{}
+	nextCID  uint64
+	stats    ServerStats
+	rng      *rand.Rand
+	shutdown bool
+	done     chan struct{}
+	doneOnce sync.Once
+}
+
+type serverSub struct {
+	client  *serverClient
+	pattern string
+	queue   string
+	sid     string
+}
+
+// NewServer returns an idle broker.
+func NewServer() *Server {
+	return &Server{
+		clients: make(map[*serverClient]struct{}),
+		subs:    make(map[*serverSub]struct{}),
+		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
+		done:    make(chan struct{}),
+	}
+}
+
+// ListenAndServe listens on addr ("host:port", ":0" for ephemeral) and
+// serves until Shutdown. It returns once the listener is bound; serving
+// continues in background goroutines.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("broker: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	go s.Serve(ln)
+	return nil
+}
+
+// Addr returns the bound listener address, or nil before ListenAndServe.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Serve accepts connections on ln until Shutdown.
+func (s *Server) Serve(ln net.Listener) {
+	defer s.doneOnce.Do(func() { close(s.done) })
+	s.mu.Lock()
+	if s.shutdown {
+		s.mu.Unlock()
+		ln.Close()
+		return
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed by Shutdown
+		}
+		s.mu.Lock()
+		if s.shutdown {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.nextCID++
+		c := &serverClient{srv: s, conn: conn, id: s.nextCID}
+		s.clients[c] = struct{}{}
+		s.stats.Connections++
+		s.mu.Unlock()
+		go c.run()
+	}
+}
+
+// Shutdown closes the listener and every client connection.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	if s.shutdown {
+		s.mu.Unlock()
+		return
+	}
+	s.shutdown = true
+	ln := s.ln
+	var conns []net.Conn
+	for c := range s.clients {
+		conns = append(conns, c.conn)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+		<-s.done
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// Stats returns a snapshot of the broker counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// NumSubscriptions returns the live subscription count.
+func (s *Server) NumSubscriptions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.subs)
+}
+
+// route delivers a message to every matching subscription; queue-group
+// subscriptions receive one copy per group, on a randomly chosen member.
+func (s *Server) route(subject string, payload []byte) {
+	s.mu.Lock()
+	var direct []*serverSub
+	queues := make(map[string][]*serverSub)
+	for sub := range s.subs {
+		if !Match(subject, sub.pattern) {
+			continue
+		}
+		if sub.queue == "" {
+			direct = append(direct, sub)
+		} else {
+			key := sub.queue + " " + sub.pattern
+			queues[key] = append(queues[key], sub)
+		}
+	}
+	for _, members := range queues {
+		direct = append(direct, members[s.rng.Intn(len(members))])
+	}
+	s.stats.MsgsIn++
+	s.stats.BytesIn += uint64(len(payload))
+	s.stats.MsgsOut += uint64(len(direct))
+	s.stats.BytesOut += uint64(len(direct) * len(payload))
+	s.mu.Unlock()
+	for _, sub := range direct {
+		sub.client.sendMsg(subject, sub.sid, payload)
+	}
+}
+
+func (s *Server) addSub(sub *serverSub) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.subs[sub] = struct{}{}
+	s.stats.Subscriptions++
+}
+
+func (s *Server) removeSub(client *serverClient, sid string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for sub := range s.subs {
+		if sub.client == client && sub.sid == sid {
+			delete(s.subs, sub)
+		}
+	}
+}
+
+func (s *Server) dropClient(c *serverClient) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.clients, c)
+	for sub := range s.subs {
+		if sub.client == c {
+			delete(s.subs, sub)
+		}
+	}
+}
+
+type serverClient struct {
+	srv  *Server
+	conn net.Conn
+	id   uint64
+
+	wmu sync.Mutex // serializes writes to conn
+}
+
+func (c *serverClient) run() {
+	defer func() {
+		c.conn.Close()
+		c.srv.dropClient(c)
+	}()
+	r := bufio.NewReaderSize(c.conn, 64*1024)
+	for {
+		line, err := readLine(r)
+		if err != nil {
+			return
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch strings.ToUpper(fields[0]) {
+		case "CONNECT":
+			// Name is informational only.
+		case "PING":
+			c.sendLine("PONG")
+		case "SUB":
+			c.handleSub(fields)
+		case "UNSUB":
+			if len(fields) != 2 {
+				c.sendErr("UNSUB requires <sid>")
+				continue
+			}
+			c.srv.removeSub(c, fields[1])
+		case "PUB":
+			if err := c.handlePub(fields, r); err != nil {
+				return
+			}
+		default:
+			c.sendErr("unknown command " + fields[0])
+		}
+	}
+}
+
+func (c *serverClient) handleSub(fields []string) {
+	var pattern, queue, sid string
+	switch len(fields) {
+	case 3:
+		pattern, sid = fields[1], fields[2]
+	case 4:
+		pattern, queue, sid = fields[1], fields[2], fields[3]
+	default:
+		c.sendErr("SUB requires <subject> [queue] <sid>")
+		return
+	}
+	if err := ValidatePattern(pattern); err != nil {
+		c.sendErr(err.Error())
+		return
+	}
+	c.srv.addSub(&serverSub{client: c, pattern: pattern, queue: queue, sid: sid})
+}
+
+func (c *serverClient) handlePub(fields []string, r *bufio.Reader) error {
+	if len(fields) != 3 {
+		c.sendErr("PUB requires <subject> <nbytes>")
+		return nil
+	}
+	subject := fields[1]
+	n, err := strconv.Atoi(fields[2])
+	if err != nil || n < 0 || n > MaxPayload {
+		c.sendErr("bad payload size")
+		return errors.New("broker: bad payload size")
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return err
+	}
+	if err := consumeCRLF(r); err != nil {
+		return err
+	}
+	if err := ValidateSubject(subject); err != nil {
+		c.sendErr(err.Error())
+		return nil
+	}
+	c.srv.route(subject, payload)
+	return nil
+}
+
+func (c *serverClient) sendMsg(subject, sid string, payload []byte) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	// Failed writes surface as a read error in the client's run loop.
+	fmt.Fprintf(c.conn, "MSG %s %s %d\r\n", subject, sid, len(payload))
+	c.conn.Write(payload)
+	io.WriteString(c.conn, "\r\n")
+}
+
+func (c *serverClient) sendLine(line string) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	io.WriteString(c.conn, line+"\r\n")
+}
+
+func (c *serverClient) sendErr(msg string) { c.sendLine("-ERR " + msg) }
+
+// readLine reads a CRLF- (or LF-) terminated line without the terminator.
+func readLine(r *bufio.Reader) (string, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+func consumeCRLF(r *bufio.Reader) error {
+	b, err := r.ReadByte()
+	if err != nil {
+		return err
+	}
+	if b == '\r' {
+		if b, err = r.ReadByte(); err != nil {
+			return err
+		}
+	}
+	if b != '\n' {
+		return errors.New("broker: payload not terminated by CRLF")
+	}
+	return nil
+}

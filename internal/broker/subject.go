@@ -1,0 +1,81 @@
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Subject syntax follows the NATS conventions: dot-separated tokens
+// ("sensors.uav.infrared"). Subscriptions may use wildcards: '*' matches
+// exactly one token, '>' matches one or more trailing tokens and must be
+// the final token.
+
+// ValidateSubject checks a publish subject (no wildcards allowed).
+func ValidateSubject(s string) error {
+	if err := validateTokens(s); err != nil {
+		return err
+	}
+	if strings.ContainsAny(s, "*>") {
+		return fmt.Errorf("broker: publish subject %q may not contain wildcards", s)
+	}
+	return nil
+}
+
+// ValidatePattern checks a subscription pattern (wildcards allowed).
+func ValidatePattern(s string) error {
+	if err := validateTokens(s); err != nil {
+		return err
+	}
+	tokens := strings.Split(s, ".")
+	for i, tok := range tokens {
+		switch tok {
+		case ">":
+			if i != len(tokens)-1 {
+				return fmt.Errorf("broker: '>' must be the final token in %q", s)
+			}
+		case "*":
+		default:
+			if strings.ContainsAny(tok, "*>") {
+				return fmt.Errorf("broker: wildcard inside token %q of %q", tok, s)
+			}
+		}
+	}
+	return nil
+}
+
+func validateTokens(s string) error {
+	if s == "" {
+		return errors.New("broker: empty subject")
+	}
+	if strings.ContainsAny(s, " \t\r\n") {
+		return fmt.Errorf("broker: subject %q contains whitespace", s)
+	}
+	for _, tok := range strings.Split(s, ".") {
+		if tok == "" {
+			return fmt.Errorf("broker: empty token in subject %q", s)
+		}
+	}
+	return nil
+}
+
+// Match reports whether a concrete subject matches a subscription pattern.
+func Match(subject, pattern string) bool {
+	st := strings.Split(subject, ".")
+	pt := strings.Split(pattern, ".")
+	for i, p := range pt {
+		switch p {
+		case ">":
+			return i < len(st) // '>' needs at least one remaining token
+		case "*":
+			if i >= len(st) {
+				return false
+			}
+		default:
+			if i >= len(st) || st[i] != p {
+				return false
+			}
+		}
+	}
+	return len(st) == len(pt)
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"adamant/internal/env"
+)
+
+// This file implements the paper's stated future work ("Fast, predictable
+// configuration for DRE pub/sub systems can support dynamic autonomic
+// adaptation... When the system detects environmental changes (e.g.
+// increase in number of receivers or increase in sending rate), supervised
+// machine learning can provide guidance to support QoS for the new
+// configuration"): an adaptation manager that monitors the observed
+// environment while the system runs and re-queries the selector when it
+// drifts.
+
+// Observation is a point-in-time view of the running system's environment
+// and workload, produced by whatever monitoring the application has.
+type Observation struct {
+	Receivers int
+	RateHz    float64
+	LossPct   float64
+}
+
+// ObserveFunc supplies the current Observation. It runs in env callback
+// context and must not block.
+type ObserveFunc func() Observation
+
+// ReconfigureFunc applies a new transport configuration to the running
+// middleware. It runs in env callback context.
+type ReconfigureFunc func(d Decision)
+
+// AdaptorOptions tune the adaptation manager.
+type AdaptorOptions struct {
+	// Interval between environment checks. Default 1s.
+	Interval time.Duration
+	// RateTolerance is the relative change in sending rate that triggers
+	// re-selection (0.25 = 25%). Default 0.25.
+	RateTolerance float64
+	// LossTolerance is the absolute percentage-point change in observed
+	// loss that triggers re-selection. Default 1.0.
+	LossTolerance float64
+	// Cooldown is the minimum time between reconfigurations, bounding
+	// flapping. Default 5s.
+	Cooldown time.Duration
+}
+
+func (o *AdaptorOptions) fillDefaults() {
+	if o.Interval <= 0 {
+		o.Interval = time.Second
+	}
+	if o.RateTolerance <= 0 {
+		o.RateTolerance = 0.25
+	}
+	if o.LossTolerance <= 0 {
+		o.LossTolerance = 1.0
+	}
+	if o.Cooldown <= 0 {
+		o.Cooldown = 5 * time.Second
+	}
+}
+
+// AdaptorStats count the manager's activity.
+type AdaptorStats struct {
+	Checks       uint64
+	Triggers     uint64 // drift detected
+	Reconfigures uint64 // selector produced a different protocol
+	Suppressed   uint64 // drift detected but inside the cooldown window
+}
+
+// Adaptor periodically compares the observed environment against the one
+// the current configuration was selected for and re-queries the selector
+// on drift. Because the ANN query is constant-time, the monitoring loop's
+// cost is bounded and small — the property that makes in-mission
+// adaptation viable for DRE systems.
+type Adaptor struct {
+	env         env.Env
+	selector    Selector
+	observe     ObserveFunc
+	reconfigure ReconfigureFunc
+	opts        AdaptorOptions
+
+	base       Features // environment axes that don't drift at runtime
+	current    Features
+	spec       string // canonical form of the active protocol
+	lastChange time.Time
+	timer      env.Timer
+	stats      AdaptorStats
+	closed     bool
+}
+
+// NewAdaptor starts the monitoring loop. initial is the decision the
+// system booted with; observe supplies live workload readings; reconfigure
+// is invoked with every new decision.
+func NewAdaptor(e env.Env, selector Selector, initial Decision,
+	observe ObserveFunc, reconfigure ReconfigureFunc, opts AdaptorOptions) (*Adaptor, error) {
+	if e == nil || selector == nil || observe == nil || reconfigure == nil {
+		return nil, errors.New("core: adaptor needs env, selector, observe, and reconfigure")
+	}
+	if initial.Spec.Name == "" {
+		return nil, errors.New("core: adaptor needs the initial decision")
+	}
+	opts.fillDefaults()
+	a := &Adaptor{
+		env:         e,
+		selector:    selector,
+		observe:     observe,
+		reconfigure: reconfigure,
+		opts:        opts,
+		base:        initial.Features,
+		current:     initial.Features,
+		spec:        initial.Spec.String(),
+		lastChange:  e.Now(),
+	}
+	a.timer = e.After(opts.Interval, a.tick)
+	return a, nil
+}
+
+// Stats returns a snapshot of the adaptor counters.
+func (a *Adaptor) Stats() AdaptorStats { return a.stats }
+
+// Current returns the features the active configuration was selected for.
+func (a *Adaptor) Current() Features { return a.current }
+
+// Close stops the monitoring loop.
+func (a *Adaptor) Close() error {
+	if a.closed {
+		return nil
+	}
+	a.closed = true
+	if a.timer != nil {
+		a.timer.Stop()
+	}
+	return nil
+}
+
+func (a *Adaptor) tick() {
+	if a.closed {
+		return
+	}
+	a.timer = a.env.After(a.opts.Interval, a.tick)
+	a.stats.Checks++
+
+	obs := a.observe()
+	if !a.drifted(obs) {
+		return
+	}
+	a.stats.Triggers++
+	if a.env.Now().Sub(a.lastChange) < a.opts.Cooldown {
+		a.stats.Suppressed++
+		return
+	}
+	next := a.base
+	next.Receivers = obs.Receivers
+	next.RateHz = obs.RateHz
+	next.LossPct = obs.LossPct
+	spec, err := a.selector.Select(next)
+	if err != nil {
+		return // keep the current configuration; selector may recover
+	}
+	a.current = next
+	a.lastChange = a.env.Now()
+	if spec.String() == a.spec {
+		return // same protocol is still right for the new environment
+	}
+	a.spec = spec.String()
+	a.stats.Reconfigures++
+	a.reconfigure(Decision{Features: next, Spec: spec})
+}
+
+// drifted reports whether the observation moved outside the tolerances
+// around the currently configured environment.
+func (a *Adaptor) drifted(obs Observation) bool {
+	if obs.Receivers != a.current.Receivers {
+		return true
+	}
+	if a.current.RateHz > 0 {
+		rel := (obs.RateHz - a.current.RateHz) / a.current.RateHz
+		if rel < 0 {
+			rel = -rel
+		}
+		if rel > a.opts.RateTolerance {
+			return true
+		}
+	}
+	dl := obs.LossPct - a.current.LossPct
+	if dl < 0 {
+		dl = -dl
+	}
+	return dl > a.opts.LossTolerance
+}

@@ -1,0 +1,319 @@
+// Package core is ADAMANT itself — the ADAptive Middleware And Network
+// Transports controller that ties the repository together. At startup it
+// (1) probes the cloud environment's computing and networking resources,
+// (2) combines them with the application's parameters (receiver count,
+// data rate, the QoS metric that matters) into a feature vector,
+// (3) asks a Selector — normally the trained artificial neural network —
+// for the transport protocol that best serves those resources, and
+// (4) configures the DDS middleware with that protocol.
+//
+// The paper's headline property lives here: because the ANN query is one
+// fixed-size forward pass, Decide runs in bounded, sub-10-microsecond time
+// regardless of environment, unlike reinforcement-learning configurators
+// whose decision time is unbounded.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"adamant/internal/ann"
+	"adamant/internal/dds"
+	"adamant/internal/netem"
+	"adamant/internal/probe"
+	"adamant/internal/transport"
+	"adamant/internal/transport/nakcast"
+	"adamant/internal/transport/ricochet"
+)
+
+// Metric selects which composite QoS metric the application optimizes.
+type Metric int
+
+// Metrics of interest (the paper trains on both, as an input feature).
+const (
+	// MetricReLate2 optimizes reliability x average latency.
+	MetricReLate2 Metric = iota
+	// MetricReLate2Jit additionally weights jitter.
+	MetricReLate2Jit
+)
+
+// String implements fmt.Stringer.
+func (m Metric) String() string {
+	switch m {
+	case MetricReLate2:
+		return "ReLate2"
+	case MetricReLate2Jit:
+		return "ReLate2Jit"
+	}
+	return fmt.Sprintf("Metric(%d)", int(m))
+}
+
+// Metrics returns both composite metrics in stable order.
+func Metrics() []Metric { return []Metric{MetricReLate2, MetricReLate2Jit} }
+
+// Candidates is the protocol configuration space ADAMANT selects from —
+// the same six configurations the paper's experiments sweep: NAKcast with
+// 50/25/10/1 ms NAK timeouts and Ricochet with R=4,C=3 and R=8,C=3.
+func Candidates() []transport.Spec {
+	return []transport.Spec{
+		nakcast.Spec(50 * time.Millisecond),
+		nakcast.Spec(25 * time.Millisecond),
+		nakcast.Spec(10 * time.Millisecond),
+		nakcast.Spec(1 * time.Millisecond),
+		ricochet.Spec(4, 3),
+		ricochet.Spec(8, 3),
+	}
+}
+
+// NumCandidates is the size of the selection space (the ANN output width).
+const NumCandidates = 6
+
+// CandidateIndex returns the index of spec within Candidates.
+func CandidateIndex(spec transport.Spec) (int, error) {
+	want := spec.String()
+	for i, c := range Candidates() {
+		if c.String() == want {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("core: %s is not a candidate protocol", want)
+}
+
+// Features is the environment + application description fed to a Selector:
+// the paper's Table 1 (machine type, network bandwidth, DDS implementation,
+// percent loss) and Table 2 (receiver count, sending rate) variables plus
+// the metric of interest.
+type Features struct {
+	MachineMHz    float64
+	BandwidthMbps float64
+	Impl          dds.Impl
+	LossPct       float64
+	Receivers     int
+	RateHz        float64
+	Metric        Metric
+}
+
+// NumInputs is the ANN input width produced by Vector.
+const NumInputs = 9
+
+// Vector encodes the features as normalized ANN inputs in [0, ~1.2]:
+// CPU MHz (/3000), log10 bandwidth (/3 from Mbps), one-hot implementation,
+// loss (/5), receivers (/15), rate (/100), one-hot metric.
+func (f Features) Vector() []float64 {
+	v := make([]float64, NumInputs)
+	v[0] = f.MachineMHz / 3000
+	if f.BandwidthMbps > 0 {
+		v[1] = math.Log10(f.BandwidthMbps) / 3
+	}
+	if f.Impl == dds.ImplA {
+		v[2] = 1
+	} else {
+		v[3] = 1
+	}
+	v[4] = f.LossPct / 5
+	v[5] = float64(f.Receivers) / 15
+	v[6] = f.RateHz / 100
+	if f.Metric == MetricReLate2 {
+		v[7] = 1
+	} else {
+		v[8] = 1
+	}
+	return v
+}
+
+// Key returns a canonical string identity for exact-match lookup (the
+// TableSelector / manual-configuration baseline).
+func (f Features) Key() string {
+	return fmt.Sprintf("%gMHz|%gMbps|%s|%g%%|%d|%gHz|%s",
+		f.MachineMHz, f.BandwidthMbps, f.Impl, f.LossPct, f.Receivers, f.RateHz, f.Metric)
+}
+
+// String implements fmt.Stringer.
+func (f Features) String() string { return f.Key() }
+
+// Selector chooses a transport protocol for an environment.
+type Selector interface {
+	Select(f Features) (transport.Spec, error)
+}
+
+// ANNSelector queries a trained neural network — ADAMANT's production
+// selector, with constant-time decisions and generalization to
+// environments unknown until runtime.
+type ANNSelector struct {
+	net *ann.Network
+}
+
+var _ Selector = (*ANNSelector)(nil)
+
+// NewANNSelector wraps a trained network; its input/output widths must
+// match NumInputs/NumCandidates.
+func NewANNSelector(net *ann.Network) (*ANNSelector, error) {
+	if net == nil {
+		return nil, errors.New("core: nil network")
+	}
+	layers := net.Layers()
+	if layers[0] != NumInputs || layers[len(layers)-1] != NumCandidates {
+		return nil, fmt.Errorf("core: network shape %v, want %d inputs and %d outputs",
+			layers, NumInputs, NumCandidates)
+	}
+	return &ANNSelector{net: net}, nil
+}
+
+// Select implements Selector.
+func (s *ANNSelector) Select(f Features) (transport.Spec, error) {
+	idx, err := s.net.Classify(f.Vector())
+	if err != nil {
+		return transport.Spec{}, err
+	}
+	return Candidates()[idx], nil
+}
+
+// TableSelector is the manual-configuration baseline the paper contrasts
+// with: an exact-match lookup table (the programmatic equivalent of a
+// hand-written switch statement). It cannot answer for environments it has
+// not seen — the development-complexity and brittleness argument for the
+// ANN.
+type TableSelector struct {
+	table map[string]transport.Spec
+}
+
+var _ Selector = (*TableSelector)(nil)
+
+// NewTableSelector builds an empty table.
+func NewTableSelector() *TableSelector {
+	return &TableSelector{table: make(map[string]transport.Spec)}
+}
+
+// Put records the best protocol for an exact environment.
+func (s *TableSelector) Put(f Features, spec transport.Spec) { s.table[f.Key()] = spec }
+
+// Len returns the number of table entries.
+func (s *TableSelector) Len() int { return len(s.table) }
+
+// ErrUnknownEnvironment is returned by TableSelector for environments not
+// in the table.
+var ErrUnknownEnvironment = errors.New("core: environment not in configuration table")
+
+// Select implements Selector.
+func (s *TableSelector) Select(f Features) (transport.Spec, error) {
+	spec, ok := s.table[f.Key()]
+	if !ok {
+		return transport.Spec{}, fmt.Errorf("%w: %s", ErrUnknownEnvironment, f.Key())
+	}
+	return spec, nil
+}
+
+// HybridSelector answers from the exact table when possible (100% accuracy
+// for environments known a priori) and falls back to the ANN for
+// environments unknown until runtime — the deployment configuration the
+// paper's accuracy figures describe.
+type HybridSelector struct {
+	Table *TableSelector
+	ANN   *ANNSelector
+}
+
+var _ Selector = (*HybridSelector)(nil)
+
+// Select implements Selector.
+func (s *HybridSelector) Select(f Features) (transport.Spec, error) {
+	if s.Table != nil {
+		if spec, err := s.Table.Select(f); err == nil {
+			return spec, nil
+		}
+	}
+	if s.ANN == nil {
+		return transport.Spec{}, errors.New("core: hybrid selector has no ANN fallback")
+	}
+	return s.ANN.Select(f)
+}
+
+// AppParams are the application-side inputs the controller combines with
+// the probed environment.
+type AppParams struct {
+	Receivers int
+	RateHz    float64
+	LossPct   float64 // expected end-host loss (e.g. from the cloud SLA)
+	Impl      dds.Impl
+	Metric    Metric
+}
+
+// Controller is the ADAMANT startup configurator.
+type Controller struct {
+	source   probe.Source
+	selector Selector
+	params   AppParams
+}
+
+// NewController assembles a controller.
+func NewController(source probe.Source, selector Selector, params AppParams) (*Controller, error) {
+	if source == nil {
+		return nil, errors.New("core: nil probe source")
+	}
+	if selector == nil {
+		return nil, errors.New("core: nil selector")
+	}
+	if params.Receivers <= 0 || params.RateHz <= 0 {
+		return nil, errors.New("core: app params need positive receivers and rate")
+	}
+	return &Controller{source: source, selector: selector, params: params}, nil
+}
+
+// Decision is the controller's output: the features it derived, the chosen
+// protocol, and how long each stage took.
+type Decision struct {
+	Info       probe.Info
+	Features   Features
+	Spec       transport.Spec
+	ProbeTime  time.Duration
+	SelectTime time.Duration
+}
+
+// Decide probes the environment and selects a transport protocol.
+func (c *Controller) Decide() (Decision, error) {
+	var d Decision
+	t0 := time.Now()
+	info, err := c.source.Probe()
+	if err != nil {
+		return d, fmt.Errorf("core: probing environment: %w", err)
+	}
+	d.ProbeTime = time.Since(t0)
+	d.Info = info
+
+	machine := probe.NearestMachine(info)
+	bw := probe.NearestBandwidth(info)
+	d.Features = Features{
+		MachineMHz:    float64(machine.MHz),
+		BandwidthMbps: float64(int64(bw)) / 1e6,
+		Impl:          c.params.Impl,
+		LossPct:       c.params.LossPct,
+		Receivers:     c.params.Receivers,
+		RateHz:        c.params.RateHz,
+		Metric:        c.params.Metric,
+	}
+	t1 := time.Now()
+	spec, err := c.selector.Select(d.Features)
+	if err != nil {
+		return d, fmt.Errorf("core: selecting protocol: %w", err)
+	}
+	d.SelectTime = time.Since(t1)
+	d.Spec = spec
+	return d, nil
+}
+
+// FeaturesFor assembles Features directly from a known environment —
+// used by the experiment harness and examples when the environment is
+// simulated rather than probed.
+func FeaturesFor(m netem.Machine, bw netem.Bandwidth, impl dds.Impl,
+	lossPct float64, receivers int, rateHz float64, metric Metric) Features {
+	return Features{
+		MachineMHz:    float64(m.MHz),
+		BandwidthMbps: float64(int64(bw)) / 1e6,
+		Impl:          impl,
+		LossPct:       lossPct,
+		Receivers:     receivers,
+		RateHz:        rateHz,
+		Metric:        metric,
+	}
+}

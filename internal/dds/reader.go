@@ -1,0 +1,245 @@
+package dds
+
+import (
+	"fmt"
+	"time"
+
+	"adamant/internal/env"
+	"adamant/internal/transport"
+)
+
+// SampleInfo carries the metadata of one received sample.
+type SampleInfo struct {
+	Topic      string
+	Seq        uint64
+	SentAt     time.Time
+	ReceivedAt time.Time
+	Recovered  bool
+}
+
+// Latency returns the sample's end-to-end latency.
+func (i SampleInfo) Latency() time.Duration { return i.ReceivedAt.Sub(i.SentAt) }
+
+// Sample is one received data sample.
+type Sample struct {
+	Data []byte
+	Info SampleInfo
+}
+
+// Listener receives reader callbacks. Callbacks run in env callback context
+// and must not block. The zero-value NoopListener embeds safely.
+type Listener interface {
+	// OnData fires for every sample delivered by the transport.
+	OnData(s Sample)
+	// OnDeadlineMissed fires when the DEADLINE QoS period elapses without
+	// a sample.
+	OnDeadlineMissed(topic string)
+	// OnSampleLost fires when the transport gives up recovering a sample
+	// (the DDS SAMPLE_LOST status).
+	OnSampleLost(topic string, seq uint64)
+}
+
+// ListenerFuncs adapts plain functions to Listener; nil fields are no-ops.
+type ListenerFuncs struct {
+	Data           func(s Sample)
+	DeadlineMissed func(topic string)
+	SampleLost     func(topic string, seq uint64)
+}
+
+var _ Listener = ListenerFuncs{}
+
+// OnData implements Listener.
+func (l ListenerFuncs) OnData(s Sample) {
+	if l.Data != nil {
+		l.Data(s)
+	}
+}
+
+// OnDeadlineMissed implements Listener.
+func (l ListenerFuncs) OnDeadlineMissed(topic string) {
+	if l.DeadlineMissed != nil {
+		l.DeadlineMissed(topic)
+	}
+}
+
+// OnSampleLost implements Listener.
+func (l ListenerFuncs) OnSampleLost(topic string, seq uint64) {
+	if l.SampleLost != nil {
+		l.SampleLost(topic, seq)
+	}
+}
+
+// DataReader receives samples on one topic into a history cache and an
+// optional listener.
+type DataReader struct {
+	participant *DomainParticipant
+	topic       *Topic
+	qos         ReaderQoS
+	listener    Listener
+	receiver    transport.Receiver
+
+	cache         []Sample
+	samplesLost   uint64
+	filteredOut   uint64
+	droppedByQoS  uint64
+	deadlineTimer env.Timer
+	closed        bool
+}
+
+// CreateDataReader builds a reader for topic with the given QoS and
+// listener (nil listener is allowed; samples then land only in the cache).
+func (p *DomainParticipant) CreateDataReader(topic *Topic, qos ReaderQoS, listener Listener) (*DataReader, error) {
+	if p.closed {
+		return nil, ErrEntityClosed
+	}
+	if topic == nil || topic.participant != p {
+		return nil, fmt.Errorf("dds: topic does not belong to this participant")
+	}
+	if err := qos.validate(); err != nil {
+		return nil, err
+	}
+	qos.fillDefaults()
+	r := &DataReader{participant: p, topic: topic, qos: qos, listener: listener}
+	spec := resolveSpec(p.cfg.Transport, qos.Transport, qos.Reliability)
+	cfg := p.transportConfig(topic, r.onDelivery)
+	cfg.OnLost = func(seq uint64) {
+		if r.closed {
+			return
+		}
+		r.samplesLost++
+		if r.listener != nil {
+			r.listener.OnSampleLost(r.topic.name, seq)
+		}
+	}
+	receiver, err := p.cfg.Registry.NewReceiver(spec, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("dds: creating reader transport %s: %w", spec, err)
+	}
+	r.receiver = receiver
+	if qos.Deadline > 0 {
+		r.armDeadline()
+	}
+	p.readers = append(p.readers, r)
+	return r, nil
+}
+
+// transportConfig assembles the transport.Config for one topic endpoint.
+func (p *DomainParticipant) transportConfig(topic *Topic, deliver transport.DeliverFunc) transport.Config {
+	return transport.Config{
+		Env:       p.cfg.Env,
+		Endpoint:  p.splitter.Route(topic.stream),
+		Stream:    topic.stream,
+		SenderID:  p.cfg.SenderID,
+		Receivers: p.cfg.Receivers,
+		Deliver:   deliver,
+	}
+}
+
+func (r *DataReader) onDelivery(d transport.Delivery) {
+	if r.closed {
+		return
+	}
+	// Implementation-profile dispatch cost.
+	r.participant.cfg.Endpoint.Work(r.participant.profile.dispatchCost)
+	if r.qos.Filter != nil && !r.qos.Filter(d.Payload) {
+		r.filteredOut++
+		return
+	}
+	s := Sample{
+		Data: d.Payload,
+		Info: SampleInfo{
+			Topic:      r.topic.name,
+			Seq:        d.Seq,
+			SentAt:     d.SentAt,
+			ReceivedAt: d.DeliveredAt,
+			Recovered:  d.Recovered,
+		},
+	}
+	r.cacheSample(s)
+	if r.qos.Deadline > 0 {
+		r.armDeadline()
+	}
+	if r.listener != nil {
+		r.listener.OnData(s)
+	}
+}
+
+func (r *DataReader) cacheSample(s Sample) {
+	switch r.qos.History {
+	case KeepLast:
+		r.cache = append(r.cache, s)
+		if len(r.cache) > r.qos.Depth {
+			over := len(r.cache) - r.qos.Depth
+			r.droppedByQoS += uint64(over)
+			r.cache = append(r.cache[:0], r.cache[over:]...)
+		}
+	case KeepAll:
+		if len(r.cache) >= r.qos.ResourceLimit {
+			r.droppedByQoS++
+			return
+		}
+		r.cache = append(r.cache, s)
+	}
+}
+
+func (r *DataReader) armDeadline() {
+	if r.deadlineTimer != nil {
+		r.deadlineTimer.Stop()
+	}
+	r.deadlineTimer = r.participant.cfg.Env.After(r.qos.Deadline, func() {
+		if r.closed {
+			return
+		}
+		if r.listener != nil {
+			r.listener.OnDeadlineMissed(r.topic.name)
+		}
+		r.armDeadline()
+	})
+}
+
+// Take returns and removes all cached samples.
+func (r *DataReader) Take() []Sample {
+	out := r.cache
+	r.cache = nil
+	return out
+}
+
+// Read returns a copy of the cached samples without consuming them.
+func (r *DataReader) Read() []Sample {
+	return append([]Sample(nil), r.cache...)
+}
+
+// CacheLen returns the number of samples currently cached.
+func (r *DataReader) CacheLen() int { return len(r.cache) }
+
+// DroppedByQoS returns the number of samples evicted or rejected by the
+// HISTORY / resource-limit policies.
+func (r *DataReader) DroppedByQoS() uint64 { return r.droppedByQoS }
+
+// SamplesLost returns the number of samples the transport reported as
+// permanently unrecoverable (the DDS SAMPLE_LOST total count).
+func (r *DataReader) SamplesLost() uint64 { return r.samplesLost }
+
+// FilteredOut returns the number of samples rejected by the content filter.
+func (r *DataReader) FilteredOut() uint64 { return r.filteredOut }
+
+// TransportStats exposes the underlying transport receiver counters.
+func (r *DataReader) TransportStats() transport.ReceiverStats { return r.receiver.Stats() }
+
+// Topic returns the reader's topic.
+func (r *DataReader) Topic() *Topic { return r.topic }
+
+// QoS returns the reader's QoS.
+func (r *DataReader) QoS() ReaderQoS { return r.qos }
+
+// Close releases the reader's transport instance and timers.
+func (r *DataReader) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	if r.deadlineTimer != nil {
+		r.deadlineTimer.Stop()
+	}
+	return r.receiver.Close()
+}

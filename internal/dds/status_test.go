@@ -1,0 +1,143 @@
+package dds_test
+
+import (
+	"testing"
+	"time"
+
+	"adamant/internal/dds"
+	"adamant/internal/transport"
+)
+
+// TestSampleLostStatus drives the SAMPLE_LOST path: under total blackout of
+// one sample (data and retransmissions all dropped), NAKcast exhausts its
+// retry budget and the reader's listener must be told which sample died.
+func TestSampleLostStatus(t *testing.T) {
+	// Tiny sender history: samples that fall out of it during the blackout
+	// are genuinely unrecoverable, forcing the abandon path.
+	spec := transport.Spec{Name: "nakcast",
+		Params: transport.Params{"timeout": "2ms", "maxnaks": "3", "history": "8"}}
+	w := newWorld(t, 1, spec, dds.ImplB)
+	// Drop absolutely everything to reader node 1 between two instants, so
+	// a contiguous run of samples is unrecoverable.
+	w.net.Node(1).SetLoss(0)
+
+	topic, err := w.writerP.CreateTopic("lossy", dds.TopicQoS{Reliability: dds.Reliable})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writer, err := w.writerP.CreateDataWriter(topic, dds.WriterQoS{Reliability: dds.Reliable})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := w.readerP[0].CreateTopic("lossy", dds.TopicQoS{Reliability: dds.Reliable})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var delivered int
+	var lostSeqs []uint64
+	reader, err := w.readerP[0].CreateDataReader(rt, dds.ReaderQoS{Reliability: dds.Reliable},
+		dds.ListenerFuncs{
+			Data: func(dds.Sample) { delivered++ },
+			SampleLost: func(topic string, seq uint64) {
+				if topic != "lossy" {
+					t.Errorf("lost topic = %q", topic)
+				}
+				lostSeqs = append(lostSeqs, seq)
+			},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	blackout := func(on bool) { w.net.Node(1).SetPartitioned(on) }
+	for n := 0; n < 40; n++ {
+		if n == 10 {
+			blackout(true)
+		}
+		if n == 30 {
+			blackout(false)
+		}
+		if err := writer.Write([]byte{byte(n)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.k.RunFor(10 * time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := writer.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.k.RunFor(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Samples 11..30 went into the blackout; by heal time only the last 8
+	// remain in the sender's history, so most of the blackout window must
+	// be reported lost, and every sample accounted for exactly once.
+	if len(lostSeqs) == 0 {
+		t.Fatal("no SAMPLE_LOST notifications despite a blackout")
+	}
+	if delivered+len(lostSeqs) != 40 {
+		t.Errorf("delivered %d + lost %d != 40 sent", delivered, len(lostSeqs))
+	}
+	if len(lostSeqs) < 10 {
+		t.Errorf("only %d samples lost; expected most of the evicted blackout window", len(lostSeqs))
+	}
+	if got := reader.SamplesLost(); got != uint64(len(lostSeqs)) {
+		t.Errorf("SamplesLost() = %d, listener saw %d", got, len(lostSeqs))
+	}
+	seen := map[uint64]bool{}
+	for _, s := range lostSeqs {
+		if seen[s] {
+			t.Errorf("seq %d reported lost twice", s)
+		}
+		seen[s] = true
+	}
+}
+
+// TestContentFilter verifies the ContentFilteredTopic analog: samples
+// failing the predicate never reach the cache or listener, but are counted.
+func TestContentFilter(t *testing.T) {
+	w := newWorld(t, 1, transport.Spec{Name: "bemcast"}, dds.ImplA)
+	topic, err := w.writerP.CreateTopic("filtered", dds.TopicQoS{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writer, err := w.writerP.CreateDataWriter(topic, dds.WriterQoS{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := w.readerP[0].CreateTopic("filtered", dds.TopicQoS{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	reader, err := w.readerP[0].CreateDataReader(rt, dds.ReaderQoS{
+		Filter: func(data []byte) bool { return len(data) > 0 && data[0]%2 == 0 },
+	}, dds.ListenerFuncs{Data: func(s dds.Sample) { got = append(got, s.Data[0]) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < 10; n++ {
+		if err := writer.Write([]byte{byte(n)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.k.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("listener saw %d samples, want 5 even ones: %v", len(got), got)
+	}
+	for _, b := range got {
+		if b%2 != 0 {
+			t.Errorf("odd sample %d passed the filter", b)
+		}
+	}
+	if reader.FilteredOut() != 5 {
+		t.Errorf("FilteredOut = %d, want 5", reader.FilteredOut())
+	}
+	if reader.CacheLen() != 5 {
+		t.Errorf("CacheLen = %d; filtered samples must not be cached", reader.CacheLen())
+	}
+}

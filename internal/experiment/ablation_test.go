@@ -1,0 +1,136 @@
+package experiment
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func cell(t *testing.T, tab Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSpace(tab.Rows[row][col]), 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q: %v", row, col, tab.Rows[row][col], err)
+	}
+	return v
+}
+
+func fastAblationOpts() AblationOptions { return AblationOptions{Samples: 800, Seed: 4} }
+
+func TestAblationOrdering(t *testing.T) {
+	tab, err := AblationOrdering(fastAblationOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	ordLat, unordLat := cell(t, tab, 0, 2), cell(t, tab, 1, 2)
+	if unordLat >= ordLat {
+		t.Errorf("unordered latency %.0f should be below ordered %.0f (HOL blocking)", unordLat, ordLat)
+	}
+	ordRel, unordRel := cell(t, tab, 0, 1), cell(t, tab, 1, 1)
+	if unordRel < ordRel-0.1 {
+		t.Errorf("unordered reliability %.2f dropped vs ordered %.2f; recovery should be unchanged", unordRel, ordRel)
+	}
+}
+
+func TestAblationFlush(t *testing.T) {
+	tab, err := AblationFlush(fastAblationOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	withLat, withoutLat := cell(t, tab, 0, 2), cell(t, tab, 1, 2)
+	if withLat >= withoutLat {
+		t.Errorf("flush-on latency %.0f should beat flush-off %.0f at 10Hz", withLat, withoutLat)
+	}
+	// Without the flush, recovery waits ~R/rate = 400ms; the latency gap
+	// should be substantial, not marginal.
+	if withoutLat < withLat*2 {
+		t.Errorf("flush-off latency %.0f not clearly worse than %.0f", withoutLat, withLat)
+	}
+}
+
+func TestAblationStagger(t *testing.T) {
+	tab, err := AblationStagger(fastAblationOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stagger's reliability effect is small and can go either way (shifted
+	// groups enable double-loss cascades but dilute per-repair coverage);
+	// what the ablation must show is that both variants recover the bulk
+	// of the 5% injected loss and stay within a point of each other.
+	stagRel, alignRel := cell(t, tab, 0, 1), cell(t, tab, 1, 1)
+	if stagRel < 99 || alignRel < 99 {
+		t.Errorf("reliabilities %.2f/%.2f; both variants should recover most loss", stagRel, alignRel)
+	}
+	if diff := stagRel - alignRel; diff > 1 || diff < -1 {
+		t.Errorf("stagger changed reliability by %.2f points; expected a second-order effect", diff)
+	}
+}
+
+func TestAblationRC(t *testing.T) {
+	tab, err := AblationRC(fastAblationOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// R=8 C=3 must transmit fewer packets than R=2 C=3 (repairs every 8th
+	// vs every 2nd packet).
+	r2tx, r8tx := cell(t, tab, 0, 5), cell(t, tab, 3, 5)
+	if r8tx >= r2tx {
+		t.Errorf("R=8 tx %.0f should be below R=2 tx %.0f", r8tx, r2tx)
+	}
+	// And R=2's reliability should be at least R=8's.
+	r2rel, r8rel := cell(t, tab, 0, 1), cell(t, tab, 3, 1)
+	if r2rel < r8rel-0.05 {
+		t.Errorf("R=2 reliability %.2f vs R=8 %.2f", r2rel, r8rel)
+	}
+}
+
+func TestAblationACKvsNAK(t *testing.T) {
+	tab, err := AblationACKvsNAK(fastAblationOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Rows alternate nakcast/ackcast for 3, 9, 15 receivers. ACK traffic
+	// per sample must grow with receivers; NAK traffic must not.
+	nak3, nak15 := cell(t, tab, 0, 5), cell(t, tab, 4, 5)
+	ack3, ack15 := cell(t, tab, 1, 5), cell(t, tab, 5, 5)
+	if ack15 < ack3*2 {
+		t.Errorf("ackcast pkts/sample did not implode with receivers: %.2f -> %.2f", ack3, ack15)
+	}
+	if nak15 > nak3*2 {
+		t.Errorf("nakcast pkts/sample grew too fast: %.2f -> %.2f", nak3, nak15)
+	}
+	// At every scale, ackcast transmits more than nakcast.
+	for i := 0; i < 6; i += 2 {
+		nak, ack := cell(t, tab, i, 4), cell(t, tab, i+1, 4)
+		if ack <= nak {
+			t.Errorf("row %d: ackcast tx %.0f should exceed nakcast %.0f", i, ack, nak)
+		}
+	}
+}
+
+func TestAblationsAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations in -short mode")
+	}
+	tables, err := Ablations(AblationOptions{Samples: 300, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 5 {
+		t.Fatalf("got %d ablation tables", len(tables))
+	}
+	for _, tab := range tables {
+		if len(tab.Rows) == 0 || tab.Format() == "" {
+			t.Errorf("%s is empty", tab.ID)
+		}
+	}
+}

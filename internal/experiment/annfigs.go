@@ -1,0 +1,247 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"adamant/internal/ann"
+	"adamant/internal/core"
+	"adamant/internal/metrics"
+	"adamant/internal/netem"
+)
+
+// ANNOptions parameterize the neural-network figures (Figures 18-21).
+type ANNOptions struct {
+	// HiddenSizes are the hidden-node counts to sweep (paper: 4..32).
+	HiddenSizes []int
+	// TrainsPerSize is how many independently seeded trainings per size
+	// (the paper trains 5 times per size; Figure 18 shows 10 runs).
+	TrainsPerSize int
+	// Folds for cross-validation (paper: 10).
+	Folds int
+	// StopError is the MSE stopping error (paper: 0.0001).
+	StopError float64
+	// MaxEpochs bounds each training.
+	MaxEpochs int
+	// Seed drives weight init and fold shuffles.
+	Seed int64
+	// Progress, when non-nil, receives status lines.
+	Progress func(format string, args ...any)
+}
+
+func (o *ANNOptions) fillDefaults() {
+	if len(o.HiddenSizes) == 0 {
+		o.HiddenSizes = []int{4, 8, 12, 16, 20, 24, 28, 32}
+	}
+	if o.TrainsPerSize <= 0 {
+		o.TrainsPerSize = 5
+	}
+	if o.Folds <= 0 {
+		o.Folds = 10
+	}
+	if o.StopError <= 0 {
+		o.StopError = 1e-4
+	}
+	if o.MaxEpochs <= 0 {
+		o.MaxEpochs = 2000
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Progress == nil {
+		o.Progress = func(string, ...any) {}
+	}
+}
+
+// Figure18 reproduces "ANN accuracy for environments known a priori":
+// for each hidden-node count, train TrainsPerSize networks on the full
+// dataset and report how many reach 100% training-set accuracy, plus the
+// mean accuracy.
+func Figure18(rows []Row, opts ANNOptions) (Table, error) {
+	opts.fillDefaults()
+	ds := ToANNDataset(rows)
+	if ds.Len() == 0 {
+		return Table{}, errors.New("experiment: empty dataset")
+	}
+	t := Table{
+		ID:     "Figure 18",
+		Title:  fmt.Sprintf("ANN accuracy, environments known a priori (%d inputs, stop error %g)", ds.Len(), opts.StopError),
+		Header: []string{"hidden nodes", "runs at 100%", "mean accuracy %", "min accuracy %"},
+		Note:   "trained and tested on the same data; the best sizes reach 100%",
+	}
+	for _, h := range opts.HiddenSizes {
+		perfect := 0
+		var acc metrics.Welford
+		for run := 0; run < opts.TrainsPerSize; run++ {
+			net, err := ann.New(ann.Config{
+				Layers: []int{core.NumInputs, h, core.NumCandidates},
+				Seed:   opts.Seed + int64(h*1000+run),
+			})
+			if err != nil {
+				return Table{}, err
+			}
+			if _, err := net.Train(ds, ann.TrainOptions{
+				MaxEpochs: opts.MaxEpochs, DesiredError: opts.StopError,
+			}); err != nil {
+				return Table{}, err
+			}
+			a, err := net.Accuracy(ds)
+			if err != nil {
+				return Table{}, err
+			}
+			if a >= 1.0 {
+				perfect++
+			}
+			acc.Add(100 * a)
+		}
+		opts.Progress("fig18 hidden=%d: %d/%d perfect, mean %.2f%%", h, perfect, opts.TrainsPerSize, acc.Mean())
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", h),
+			fmt.Sprintf("%d/%d", perfect, opts.TrainsPerSize),
+			fmt.Sprintf("%.2f", acc.Mean()),
+			fmt.Sprintf("%.2f", acc.Min()),
+		})
+	}
+	return t, nil
+}
+
+// Figure19 reproduces "ANN accuracy for environments unknown until
+// runtime": k-fold cross-validated accuracy per hidden-node count.
+func Figure19(rows []Row, opts ANNOptions) (Table, error) {
+	opts.fillDefaults()
+	ds := ToANNDataset(rows)
+	if ds.Len() < opts.Folds {
+		return Table{}, fmt.Errorf("experiment: %d rows cannot make %d folds", ds.Len(), opts.Folds)
+	}
+	t := Table{
+		ID:     "Figure 19",
+		Title:  fmt.Sprintf("ANN accuracy, environments unknown until runtime (%d-fold CV, stop error %g)", opts.Folds, opts.StopError),
+		Header: []string{"hidden nodes", "mean CV accuracy %", "min fold %", "max fold %"},
+		Note:   "the paper's best average was 89.49% at 24 hidden nodes",
+	}
+	for _, h := range opts.HiddenSizes {
+		res, err := ann.CrossValidate(ann.Config{
+			Layers: []int{core.NumInputs, h, core.NumCandidates},
+			Seed:   opts.Seed + int64(h),
+		}, ds, opts.Folds, ann.TrainOptions{
+			MaxEpochs: opts.MaxEpochs, DesiredError: opts.StopError,
+		})
+		if err != nil {
+			return Table{}, err
+		}
+		var folds metrics.Welford
+		for _, a := range res.FoldAccuracy {
+			folds.Add(100 * a)
+		}
+		opts.Progress("fig19 hidden=%d: CV %.2f%%", h, folds.Mean())
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", h),
+			fmt.Sprintf("%.2f", folds.Mean()),
+			fmt.Sprintf("%.2f", folds.Min()),
+			fmt.Sprintf("%.2f", folds.Max()),
+		})
+	}
+	return t, nil
+}
+
+// TimingResult holds Figures 20/21 data for one emulated platform.
+type TimingResult struct {
+	Platform  string
+	MeanUs    float64
+	StdDevUs  float64
+	MaxUs     float64
+	Queries   int
+	HostScale float64 // CPUFactor applied to the host measurement
+}
+
+// QueryTimings reproduces Figures 20/21: train the best network (24 hidden
+// nodes), query it with every dataset input `experiments` times, and report
+// mean and standard deviation of the per-query response time. The host
+// measurement is taken with a monotonic clock; the pc850/pc3000 rows scale
+// it by the machines' CPU factors (host ~ reference pc3000).
+func QueryTimings(rows []Row, experiments int, opts ANNOptions) ([]TimingResult, error) {
+	opts.fillDefaults()
+	if experiments <= 0 {
+		experiments = 5
+	}
+	ds := ToANNDataset(rows)
+	if ds.Len() == 0 {
+		return nil, errors.New("experiment: empty dataset")
+	}
+	net, err := ann.New(ann.Config{
+		Layers: []int{core.NumInputs, 24, core.NumCandidates},
+		Seed:   opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := net.Train(ds, ann.TrainOptions{
+		MaxEpochs: opts.MaxEpochs, DesiredError: opts.StopError,
+	}); err != nil {
+		return nil, err
+	}
+	var w metrics.Welford
+	for e := 0; e < experiments; e++ {
+		for _, in := range ds.Inputs {
+			start := time.Now()
+			if _, err := net.Classify(in); err != nil {
+				return nil, err
+			}
+			w.Add(float64(time.Since(start)) / float64(time.Microsecond))
+		}
+	}
+	out := []TimingResult{
+		{Platform: "host", MeanUs: w.Mean(), StdDevUs: w.StdDev(), MaxUs: w.Max(),
+			Queries: int(w.Count()), HostScale: 1},
+	}
+	for _, m := range []netem.Machine{netem.PC3000, netem.PC850} {
+		out = append(out, TimingResult{
+			Platform:  m.Name,
+			MeanUs:    w.Mean() * m.CPUFactor,
+			StdDevUs:  w.StdDev() * m.CPUFactor,
+			MaxUs:     w.Max() * m.CPUFactor,
+			Queries:   int(w.Count()),
+			HostScale: m.CPUFactor,
+		})
+	}
+	return out, nil
+}
+
+// Figure20 renders average ANN response times.
+func Figure20(rows []Row, opts ANNOptions) (Table, error) {
+	timings, err := QueryTimings(rows, 5, opts)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:     "Figure 20",
+		Title:  "ANN average response times",
+		Header: []string{"platform", "queries", "mean (us)", "max (us)"},
+		Note:   "paper: <10us with bounded time complexity; pc850/pc3000 rows are CPU-factor-scaled host measurements",
+	}
+	for _, r := range timings {
+		t.Rows = append(t.Rows, []string{r.Platform, fmt.Sprintf("%d", r.Queries),
+			fmt.Sprintf("%.3f", r.MeanUs), fmt.Sprintf("%.3f", r.MaxUs)})
+	}
+	return t, nil
+}
+
+// Figure21 renders the standard deviation of ANN response times.
+func Figure21(rows []Row, opts ANNOptions) (Table, error) {
+	timings, err := QueryTimings(rows, 5, opts)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:     "Figure 21",
+		Title:  "Standard deviation of ANN response times",
+		Header: []string{"platform", "queries", "stddev (us)"},
+		Note:   "small, predictable spread: the query is one fixed-size forward pass",
+	}
+	for _, r := range timings {
+		t.Rows = append(t.Rows, []string{r.Platform, fmt.Sprintf("%d", r.Queries),
+			fmt.Sprintf("%.3f", r.StdDevUs)})
+	}
+	return t, nil
+}

@@ -1,0 +1,147 @@
+package experiment
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"adamant/internal/core"
+	"adamant/internal/dds"
+	"adamant/internal/netem"
+)
+
+// syntheticRows builds a learnable labeled dataset without running
+// simulations: fast machines prefer Ricochet R4C3, slow ones NAKcast 1ms —
+// the paper's actual decision boundary.
+func syntheticRows(n int) []Row {
+	machines := []netem.Machine{netem.PC850, netem.PC3000}
+	bws := []netem.Bandwidth{netem.Mbps10, netem.Mbps100, netem.Gbps1}
+	var rows []Row
+	for i := 0; i < n; i++ {
+		m := machines[i%2]
+		bw := bws[i%3]
+		impl := dds.Impls()[i%2]
+		loss := float64(1 + i%5)
+		recv := 3 + 3*(i%5)
+		rate := []float64{10, 25, 50, 100}[i%4]
+		metric := core.Metrics()[i%2]
+		winner := 3 // nakcast 1ms
+		if m.Name == "pc3000" {
+			winner = 4 // ricochet r4c3
+		}
+		rows = append(rows, Row{
+			Features: core.FeaturesFor(m, bw, impl, loss, recv, rate, metric),
+			Winner:   winner,
+			Scores:   make([]float64, core.NumCandidates),
+		})
+	}
+	return rows
+}
+
+func fastANNOpts() ANNOptions {
+	return ANNOptions{
+		HiddenSizes:   []int{4, 12},
+		TrainsPerSize: 2,
+		Folds:         5,
+		StopError:     1e-3,
+		MaxEpochs:     400,
+		Seed:          2,
+	}
+}
+
+func TestFigure18(t *testing.T) {
+	tab, err := Figure18(syntheticRows(60), fastANNOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want one per hidden size", len(tab.Rows))
+	}
+	// The synthetic problem is trivially separable: the larger network
+	// must reach 100% training accuracy in every run.
+	last := tab.Rows[len(tab.Rows)-1]
+	if last[1] != "2/2" {
+		t.Errorf("hidden=12 perfect runs = %s, want 2/2 (rows: %v)", last[1], tab.Rows)
+	}
+	if _, err := Figure18(nil, fastANNOpts()); err == nil {
+		t.Error("empty rows should error")
+	}
+}
+
+func TestFigure19(t *testing.T) {
+	tab, err := Figure19(syntheticRows(60), fastANNOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	acc, err := strconv.ParseFloat(tab.Rows[1][1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 90 {
+		t.Errorf("CV accuracy %.2f%% on separable problem, want >= 90%%", acc)
+	}
+	if _, err := Figure19(syntheticRows(3), fastANNOpts()); err == nil {
+		t.Error("too few rows for folds should error")
+	}
+}
+
+func TestQueryTimings(t *testing.T) {
+	rows := syntheticRows(40)
+	opts := fastANNOpts()
+	timings, err := QueryTimings(rows, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(timings) != 3 { // host, pc3000, pc850
+		t.Fatalf("got %d timing rows", len(timings))
+	}
+	host := timings[0]
+	if host.Queries != 80 {
+		t.Errorf("Queries = %d, want 2x40", host.Queries)
+	}
+	if host.MeanUs <= 0 || host.MeanUs > 1000 {
+		t.Errorf("host mean %.3fus implausible", host.MeanUs)
+	}
+	// Paper's headline: the query is bounded and fast (<10us on decade-
+	// newer hardware than the paper's; allow margin for CI noise).
+	if host.MeanUs > 10 {
+		t.Logf("warning: host mean query time %.3fus exceeds 10us target", host.MeanUs)
+	}
+	var pc850, pc3000 TimingResult
+	for _, r := range timings[1:] {
+		switch r.Platform {
+		case "pc850":
+			pc850 = r
+		case "pc3000":
+			pc3000 = r
+		}
+	}
+	if pc850.MeanUs <= pc3000.MeanUs {
+		t.Error("pc850 emulated timing should exceed pc3000")
+	}
+	if _, err := QueryTimings(nil, 2, opts); err == nil {
+		t.Error("empty rows should error")
+	}
+}
+
+func TestFigures20And21(t *testing.T) {
+	rows := syntheticRows(40)
+	opts := fastANNOpts()
+	t20, err := Figure20(rows, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t20.Rows) != 3 || !strings.Contains(t20.Format(), "mean (us)") {
+		t.Errorf("Figure 20 = %+v", t20)
+	}
+	t21, err := Figure21(rows, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t21.Rows) != 3 {
+		t.Errorf("Figure 21 rows = %d", len(t21.Rows))
+	}
+}

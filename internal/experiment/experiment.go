@@ -1,0 +1,310 @@
+// Package experiment reproduces the paper's evaluation: it assembles
+// simulated cloud environments (machine type, LAN bandwidth, DDS
+// implementation profile, end-host loss) and application workloads
+// (receiver count, sending rate), runs the DDS/ANT stack over them, scores
+// the composite QoS metrics, builds the 394-row training set for the
+// neural-network configurator, and regenerates every figure in Section 4.
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"adamant/internal/core"
+	"adamant/internal/dds"
+	"adamant/internal/env"
+	"adamant/internal/metrics"
+	"adamant/internal/netem"
+	"adamant/internal/sim"
+	"adamant/internal/transport"
+	"adamant/internal/transport/protocols"
+	"adamant/internal/wire"
+)
+
+// Config describes one experiment run: the paper's Table 1 environment
+// variables, Table 2 application variables, the workload shape, and the
+// transport protocol under test.
+type Config struct {
+	Machine   netem.Machine
+	Bandwidth netem.Bandwidth
+	Impl      dds.Impl
+	LossPct   float64
+	Receivers int
+	RateHz    float64
+	// Samples is the number of data samples the writer publishes. The
+	// paper sends 20000 per run; smaller counts preserve the metric
+	// shape and run proportionally faster.
+	Samples int
+	// PayloadBytes is the sample size (paper: 12 bytes).
+	PayloadBytes int
+	// Protocol is the ANT transport under test.
+	Protocol transport.Spec
+	// Seed makes the run reproducible.
+	Seed int64
+}
+
+func (c *Config) fillDefaults() {
+	if c.Machine.Name == "" {
+		c.Machine = netem.PC3000
+	}
+	if c.Bandwidth == 0 {
+		c.Bandwidth = netem.Gbps1
+	}
+	if c.Receivers == 0 {
+		c.Receivers = 3
+	}
+	if c.RateHz == 0 {
+		c.RateHz = 25
+	}
+	if c.Samples == 0 {
+		c.Samples = 2000
+	}
+	if c.PayloadBytes == 0 {
+		c.PayloadBytes = 12
+	}
+	if c.Protocol.Name == "" {
+		c.Protocol = core.Candidates()[3] // nakcast(timeout=1ms)
+	}
+}
+
+// Validate reports config errors.
+func (c Config) Validate() error {
+	if c.Receivers < 1 {
+		return errors.New("experiment: need at least one receiver")
+	}
+	if c.RateHz <= 0 {
+		return errors.New("experiment: non-positive rate")
+	}
+	if c.LossPct < 0 || c.LossPct > 100 {
+		return fmt.Errorf("experiment: loss %v%% out of range", c.LossPct)
+	}
+	if c.Samples < 1 {
+		return errors.New("experiment: need at least one sample")
+	}
+	return nil
+}
+
+// String identifies the configuration in logs and tables.
+func (c Config) String() string {
+	return fmt.Sprintf("%s/%s/%s loss=%g%% rcv=%d rate=%gHz proto=%s",
+		c.Machine.Name, c.Bandwidth, c.Impl, c.LossPct, c.Receivers, c.RateHz, c.Protocol)
+}
+
+// topicName is the single experiment data stream.
+const topicName = "adamant/experiment"
+
+// NetReport carries per-node traffic counters from one run, for ablations
+// that study protocol overhead (control traffic, repair traffic).
+type NetReport struct {
+	Writer  netem.Stats
+	Readers []netem.Stats
+}
+
+// TotalTx sums transmitted packets across all nodes.
+func (r NetReport) TotalTx() uint64 {
+	total := r.Writer.TxPackets
+	for _, s := range r.Readers {
+		total += s.TxPackets
+	}
+	return total
+}
+
+// Run executes one experiment and returns the merged QoS summary across
+// all receivers (per-receiver expected counts sum into Summary.Sent).
+func Run(cfg Config) (metrics.Summary, error) {
+	s, _, err := RunDetailed(cfg)
+	return s, err
+}
+
+// RunDetailed is Run plus the per-node traffic report.
+func RunDetailed(cfg Config) (metrics.Summary, NetReport, error) {
+	cfg.fillDefaults()
+	if err := cfg.Validate(); err != nil {
+		return metrics.Summary{}, NetReport{}, err
+	}
+	kernel := sim.New(cfg.Seed)
+	kernel.SetEventLimit(uint64(cfg.Samples)*uint64(cfg.Receivers)*200 + 10_000_000)
+	e := env.NewSim(kernel)
+	network, err := netem.New(e, netem.Config{Bandwidth: cfg.Bandwidth})
+	if err != nil {
+		return metrics.Summary{}, NetReport{}, err
+	}
+	reg := protocols.MustRegistry()
+
+	writerNode := network.AddNode(cfg.Machine)
+	readerNodes := make([]*netem.Node, cfg.Receivers)
+	readerIDs := make([]wire.NodeID, cfg.Receivers)
+	for i := range readerNodes {
+		readerNodes[i] = network.AddNode(cfg.Machine)
+		readerNodes[i].SetLoss(cfg.LossPct)
+		readerIDs[i] = readerNodes[i].Local()
+	}
+	receivers := transport.StaticReceivers(readerIDs...)
+
+	mkParticipant := func(node *netem.Node) (*dds.DomainParticipant, error) {
+		return dds.NewParticipant(dds.ParticipantConfig{
+			Env:       e,
+			Endpoint:  node,
+			Registry:  reg,
+			Transport: cfg.Protocol,
+			Impl:      cfg.Impl,
+			SenderID:  writerNode.Local(),
+			Receivers: receivers,
+		})
+	}
+	writerP, err := mkParticipant(writerNode)
+	if err != nil {
+		return metrics.Summary{}, NetReport{}, err
+	}
+	topic, err := writerP.CreateTopic(topicName, dds.TopicQoS{Reliability: dds.Reliable})
+	if err != nil {
+		return metrics.Summary{}, NetReport{}, err
+	}
+	writer, err := writerP.CreateDataWriter(topic, dds.WriterQoS{Reliability: dds.Reliable})
+	if err != nil {
+		return metrics.Summary{}, NetReport{}, err
+	}
+	collectors := make([]metrics.Collector, cfg.Receivers)
+	tail := metrics.NewLatencyTail()
+	for i := range readerNodes {
+		i := i
+		p, err := mkParticipant(readerNodes[i])
+		if err != nil {
+			return metrics.Summary{}, NetReport{}, err
+		}
+		rt, err := p.CreateTopic(topicName, dds.TopicQoS{Reliability: dds.Reliable})
+		if err != nil {
+			return metrics.Summary{}, NetReport{}, err
+		}
+		if _, err := p.CreateDataReader(rt, dds.ReaderQoS{Reliability: dds.Reliable, History: dds.KeepLast, Depth: 1},
+			dds.ListenerFuncs{Data: func(s dds.Sample) {
+				collectors[i].OnDeliver(s.Info.SentAt, s.Info.ReceivedAt, s.Info.Recovered)
+				tail.Add(float64(s.Info.Latency()) / float64(time.Microsecond))
+			}}); err != nil {
+			return metrics.Summary{}, NetReport{}, err
+		}
+	}
+
+	// Publish Samples samples at RateHz, then close the writer (EOS).
+	period := time.Duration(float64(time.Second) / cfg.RateHz)
+	payload := make([]byte, cfg.PayloadBytes)
+	rng := kernel.Rand("experiment/payload")
+	published := 0
+	var writeErr error
+	var tick func()
+	tick = func() {
+		if published >= cfg.Samples {
+			writeErr = writer.Close()
+			return
+		}
+		rng.Read(payload)
+		if err := writer.Write(payload); err != nil {
+			writeErr = err
+			return
+		}
+		published++
+		e.After(period, tick)
+	}
+	e.Post(tick)
+
+	if err := kernel.Run(); err != nil {
+		return metrics.Summary{}, NetReport{}, fmt.Errorf("experiment: %s: %w", cfg, err)
+	}
+	if writeErr != nil {
+		return metrics.Summary{}, NetReport{}, fmt.Errorf("experiment: %s: %w", cfg, writeErr)
+	}
+
+	var merged metrics.Collector
+	var bw metrics.Bandwidth
+	for i := range collectors {
+		merged.Merge(&collectors[i])
+		bw.Merge(readerNodes[i].RxBandwidth())
+	}
+	summary := merged.Summary(uint64(cfg.Samples) * uint64(cfg.Receivers))
+	summary.P50LatencyUs, summary.P95LatencyUs, summary.P99LatencyUs = tail.Snapshot()
+	summary.Bytes = bw.Total()
+	summary.AvgBps = bw.MeanRate()
+	summary.BurstinessBps = bw.Burstiness()
+	report := NetReport{Writer: writerNode.Stats()}
+	for _, n := range readerNodes {
+		report.Readers = append(report.Readers, n.Stats())
+	}
+	return summary, report, nil
+}
+
+// RunN executes the experiment `runs` times with derived seeds (the paper
+// runs every configuration five times) and returns the per-run summaries.
+func RunN(cfg Config, runs int) ([]metrics.Summary, error) {
+	if runs < 1 {
+		return nil, errors.New("experiment: runs must be >= 1")
+	}
+	out := make([]metrics.Summary, runs)
+	for i := 0; i < runs; i++ {
+		run := cfg
+		run.Seed = sim.DeriveSeed(cfg.Seed, fmt.Sprintf("run-%d", i))
+		s, err := Run(run)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Score extracts the configured composite metric from a summary.
+func Score(s metrics.Summary, metric core.Metric) float64 {
+	if metric == core.MetricReLate2Jit {
+		return s.ReLate2Jit
+	}
+	return s.ReLate2
+}
+
+// MeanScore averages Score over runs.
+func MeanScore(ss []metrics.Summary, metric core.Metric) float64 {
+	if len(ss) == 0 {
+		return 0
+	}
+	var total float64
+	for _, s := range ss {
+		total += Score(s, metric)
+	}
+	return total / float64(len(ss))
+}
+
+// CandidateResult holds one candidate protocol's summaries for a config.
+type CandidateResult struct {
+	Spec      transport.Spec
+	Summaries []metrics.Summary
+}
+
+// RunCandidates runs every ADAMANT candidate protocol over the same
+// environment (same derived seeds), returning results in Candidates()
+// order.
+func RunCandidates(cfg Config, runs int) ([]CandidateResult, error) {
+	cands := core.Candidates()
+	out := make([]CandidateResult, len(cands))
+	for i, spec := range cands {
+		c := cfg
+		c.Protocol = spec
+		ss, err := RunN(c, runs)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = CandidateResult{Spec: spec, Summaries: ss}
+	}
+	return out, nil
+}
+
+// Winner returns the candidate index with the lowest (best) mean score for
+// the metric.
+func Winner(results []CandidateResult, metric core.Metric) int {
+	best := 0
+	bestScore := MeanScore(results[0].Summaries, metric)
+	for i := 1; i < len(results); i++ {
+		if s := MeanScore(results[i].Summaries, metric); s < bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}

@@ -1,0 +1,71 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result: one paper figure or table.
+type Table struct {
+	// ID names the paper artifact ("Figure 4", "Table 1", ...).
+	ID string
+	// Title describes the content.
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Note records interpretation help (e.g. "lower is better").
+	Note string
+}
+
+// Format renders the table as aligned ASCII.
+func (t Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	total := len(widths) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Note)
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180-ish CSV (no embedded quotes expected in
+// experiment output).
+func (t Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Header, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,5 @@
+// Package integration holds cross-module failure-injection scenarios:
+// receiver crashes, sender crashes, network partitions, and bursty loss,
+// driven through the full netem + transport + membership stack. The
+// package contains only tests.
+package integration

@@ -1,0 +1,318 @@
+package integration
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"adamant/internal/env"
+	"adamant/internal/membership"
+	"adamant/internal/netem"
+	"adamant/internal/sim"
+	"adamant/internal/transport"
+	"adamant/internal/transport/nakcast"
+	"adamant/internal/transport/ricochet"
+	"adamant/internal/wire"
+)
+
+// world is a simulated LAN with one sender and n receivers on raw
+// transports (no DDS layer), for precise failure injection.
+type world struct {
+	k       *sim.Kernel
+	e       *env.SimEnv
+	net     *netem.Network
+	sender  *netem.Node
+	readers []*netem.Node
+}
+
+func newWorld(t *testing.T, receivers int, seed int64) *world {
+	t.Helper()
+	w := &world{k: sim.New(seed)}
+	w.e = env.NewSim(w.k)
+	var err error
+	w.net, err = netem.New(w.e, netem.Config{Bandwidth: netem.Gbps1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.sender = w.net.AddNode(netem.PC3000)
+	for i := 0; i < receivers; i++ {
+		w.readers = append(w.readers, w.net.AddNode(netem.PC3000))
+	}
+	return w
+}
+
+func (w *world) readerIDs() []wire.NodeID {
+	ids := make([]wire.NodeID, len(w.readers))
+	for i, r := range w.readers {
+		ids[i] = r.Local()
+	}
+	return ids
+}
+
+// publish drives n samples at the given rate and then closes the sender.
+func publish(t *testing.T, w *world, s transport.Sender, n int, period time.Duration) {
+	t.Helper()
+	count := 0
+	var tick func()
+	tick = func() {
+		if count >= n {
+			if err := s.Close(); err != nil {
+				t.Error(err)
+			}
+			return
+		}
+		if err := s.Publish([]byte(fmt.Sprintf("s%04d", count))); err != nil {
+			t.Error(err)
+			return
+		}
+		count++
+		w.e.After(period, tick)
+	}
+	w.e.Post(tick)
+}
+
+// TestReceiverCrashRicochetSurvivors injects a mid-run receiver crash: the
+// membership detectors must evict it, Ricochet repair targeting must shrink
+// to the survivors, and the survivors must keep recovering losses. The
+// simulation must also terminate (no timer leaks from the dead node).
+func TestReceiverCrashRicochetSurvivors(t *testing.T) {
+	w := newWorld(t, 4, 21)
+	for _, r := range w.readers {
+		r.SetLoss(5)
+	}
+
+	// Membership: one detector per receiver node, sharing the endpoint
+	// with the data-plane protocol via a mux... detectors and protocol
+	// instances need separate routes, so run membership through a
+	// dedicated control split per node.
+	splits := make([]*transport.Splitter, len(w.readers))
+	views := make([]*membership.Detector, len(w.readers))
+	delivered := make([]int, len(w.readers))
+	recovered := make([]int, len(w.readers))
+
+	for i, node := range w.readers {
+		i := i
+		splits[i] = transport.NewSplitter(node)
+		ctlMux := transport.NewMux(splits[i].Route(wire.ControlStream))
+		det, err := membership.NewDetector(w.e, ctlMux, membership.DetectorOptions{
+			Interval:     50 * time.Millisecond,
+			SuspectAfter: 175 * time.Millisecond,
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		views[i] = det
+		if _, err := ricochet.NewReceiver(transport.Config{
+			Env:      w.e,
+			Endpoint: splits[i].Route(1),
+			Stream:   1,
+			SenderID: w.sender.Local(),
+			// Live receiver set from the failure detector, minus the
+			// sender's node (detectors only run on receivers here).
+			Receivers: det.Receivers,
+			Deliver: func(d transport.Delivery) {
+				delivered[i]++
+				if d.Recovered {
+					recovered[i]++
+				}
+			},
+		}, ricochet.Options{R: 4, C: 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sender, err := ricochet.NewSender(transport.Config{
+		Env: w.e, Endpoint: w.sender, Stream: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const samples = 300
+	publish(t, w, sender, samples, 10*time.Millisecond)
+
+	// Crash receiver 3 one second in (no LEAVE: a real crash).
+	w.e.After(time.Second, func() { w.readers[3].SetPartitioned(true) })
+
+	if err := w.k.RunFor(2 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	// Detectors heartbeat forever by design; after closing them the
+	// simulation must quiesce (nothing else may leak timers).
+	for _, det := range views {
+		if err := det.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.k.RunFor(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if pending := w.k.Pending(); pending > 0 {
+		t.Errorf("%d events still pending after closing detectors; timers leaked", pending)
+	}
+
+	// Survivors evicted the crashed node from membership.
+	for i := 0; i < 3; i++ {
+		if views[i].View().Contains(w.readers[3].Local()) {
+			t.Errorf("survivor %d still lists the crashed node", i)
+		}
+	}
+	// Survivors kept delivering and recovering after the crash.
+	for i := 0; i < 3; i++ {
+		rate := 100 * float64(delivered[i]) / samples
+		if rate < 99 {
+			t.Errorf("survivor %d delivered %.1f%%, want >= 99%%", i, rate)
+		}
+		if recovered[i] == 0 {
+			t.Errorf("survivor %d recovered nothing; repair flow broke after the crash", i)
+		}
+	}
+	// The crashed receiver stopped at the crash point.
+	if got := delivered[3]; got > samples/2 {
+		t.Errorf("crashed receiver delivered %d; partition not effective", got)
+	}
+}
+
+// TestPartitionHealNAKcast cuts a receiver off mid-stream and heals it: the
+// NAK/retransmission path must backfill everything the receiver missed.
+func TestPartitionHealNAKcast(t *testing.T) {
+	w := newWorld(t, 2, 33)
+	delivered := make([]int, len(w.readers))
+	for i, node := range w.readers {
+		i := i
+		if _, err := nakcast.NewReceiver(transport.Config{
+			Env: w.e, Endpoint: node, Stream: 1, SenderID: w.sender.Local(),
+			Deliver: func(transport.Delivery) { delivered[i]++ },
+		}, nakcast.Options{Timeout: 5 * time.Millisecond}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sender, err := nakcast.NewSender(transport.Config{
+		Env: w.e, Endpoint: w.sender, Stream: 1,
+	}, nakcast.Options{Timeout: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const samples = 200
+	publish(t, w, sender, samples, 10*time.Millisecond)
+	// Partition reader 1 from 0.5s to 1.2s (~70 samples missed live).
+	w.e.After(500*time.Millisecond, func() { w.readers[1].SetPartitioned(true) })
+	w.e.After(1200*time.Millisecond, func() { w.readers[1].SetPartitioned(false) })
+
+	if err := w.k.RunFor(2 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if delivered[0] != samples {
+		t.Errorf("unpartitioned reader delivered %d/%d", delivered[0], samples)
+	}
+	if delivered[1] != samples {
+		t.Errorf("healed reader delivered %d/%d; retransmission backfill failed", delivered[1], samples)
+	}
+}
+
+// TestSenderCrashTerminates kills the sender mid-stream: receivers must
+// abandon the missing tail after bounded NAK retries and the simulation
+// must quiesce rather than NAK forever.
+func TestSenderCrashTerminates(t *testing.T) {
+	w := newWorld(t, 2, 44)
+	delivered := make([]int, len(w.readers))
+	for i, node := range w.readers {
+		i := i
+		node.SetLoss(5)
+		if _, err := nakcast.NewReceiver(transport.Config{
+			Env: w.e, Endpoint: node, Stream: 1, SenderID: w.sender.Local(),
+			Deliver: func(transport.Delivery) { delivered[i]++ },
+		}, nakcast.Options{Timeout: 5 * time.Millisecond, MaxNaks: 5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sender, err := nakcast.NewSender(transport.Config{
+		Env: w.e, Endpoint: w.sender, Stream: 1,
+	}, nakcast.Options{Timeout: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	publish(t, w, sender, 1000, 5*time.Millisecond) // would run 5s...
+	w.e.After(time.Second, func() { w.sender.SetPartitioned(true) })
+
+	if err := w.k.RunFor(5 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if w.k.Pending() > 1 {
+		t.Errorf("%d events pending after sender crash; NAK retries did not terminate", w.k.Pending())
+	}
+	for i, d := range delivered {
+		if d < 150 || d > 300 {
+			t.Errorf("reader %d delivered %d; expected ~200 (1s at 200Hz)", i, d)
+		}
+	}
+}
+
+// TestBurstLossProtocols compares protocol behavior under Gilbert-Elliott
+// bursty loss: NAKcast must still recover essentially everything; Ricochet
+// suffers more than under uniform loss because bursts wipe whole XOR
+// groups.
+func TestBurstLossProtocols(t *testing.T) {
+	run := func(spec transport.Spec, burst bool) float64 {
+		w := newWorld(t, 3, 55)
+		for _, r := range w.readers {
+			if burst {
+				// ~5% average loss concentrated in bursts.
+				r.SetBurstLoss(0.013, 0.25, 1.0)
+				r.SetLoss(0)
+			} else {
+				r.SetLoss(5)
+			}
+		}
+		reg := map[string]func(cfg transport.Config) (transport.Receiver, error){
+			"nakcast": func(cfg transport.Config) (transport.Receiver, error) {
+				return nakcast.NewReceiver(cfg, nakcast.Options{Timeout: 5 * time.Millisecond})
+			},
+			"ricochet": func(cfg transport.Config) (transport.Receiver, error) {
+				return ricochet.NewReceiver(cfg, ricochet.Options{R: 4, C: 3})
+			},
+		}
+		delivered := 0
+		ids := w.readerIDs()
+		for _, node := range w.readers {
+			if _, err := reg[spec.Name](transport.Config{
+				Env: w.e, Endpoint: node, Stream: 1, SenderID: w.sender.Local(),
+				Receivers: transport.StaticReceivers(ids...),
+				Deliver:   func(transport.Delivery) { delivered++ },
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var sender transport.Sender
+		var err error
+		if spec.Name == "nakcast" {
+			sender, err = nakcast.NewSender(transport.Config{Env: w.e, Endpoint: w.sender, Stream: 1},
+				nakcast.Options{Timeout: 5 * time.Millisecond})
+		} else {
+			sender, err = ricochet.NewSender(transport.Config{Env: w.e, Endpoint: w.sender, Stream: 1})
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		const samples = 600
+		publish(t, w, sender, samples, 10*time.Millisecond)
+		if err := w.k.RunFor(3 * time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		return 100 * float64(delivered) / float64(samples*3)
+	}
+
+	nakBurst := run(transport.Spec{Name: "nakcast"}, true)
+	if nakBurst < 99.9 {
+		t.Errorf("NAKcast reliability %.2f%% under burst loss, want ~100%%", nakBurst)
+	}
+	ricUniform := run(transport.Spec{Name: "ricochet"}, false)
+	ricBurst := run(transport.Spec{Name: "ricochet"}, true)
+	if ricBurst >= ricUniform {
+		t.Errorf("Ricochet under burst loss (%.2f%%) should be worse than uniform (%.2f%%)",
+			ricBurst, ricUniform)
+	}
+	if ricBurst < 90 {
+		t.Errorf("Ricochet burst reliability %.2f%% implausibly low", ricBurst)
+	}
+}

@@ -1,0 +1,238 @@
+// Package membership provides group membership views and heartbeat-based
+// failure detection — two of the configurable transport properties in the
+// ANT framework. Ricochet consults the view to pick live repair targets;
+// experiments use static views, while the failure-injection tests exercise
+// the detector.
+package membership
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"adamant/internal/env"
+	"adamant/internal/transport"
+	"adamant/internal/wire"
+)
+
+// View is an immutable snapshot of group membership.
+type View struct {
+	// Members is the sorted list of live member node IDs.
+	Members []wire.NodeID
+	// Version increments on every membership change.
+	Version uint64
+}
+
+// Contains reports whether id is in the view.
+func (v View) Contains(id wire.NodeID) bool {
+	for _, m := range v.Members {
+		if m == id {
+			return true
+		}
+	}
+	return false
+}
+
+// String implements fmt.Stringer.
+func (v View) String() string {
+	return fmt.Sprintf("view{v%d, %d members}", v.Version, len(v.Members))
+}
+
+// Provider supplies membership views. Implementations: Static, Detector.
+type Provider interface {
+	// View returns the current membership snapshot.
+	View() View
+	// Receivers adapts the view to transport.Config.Receivers.
+	Receivers() []wire.NodeID
+}
+
+// Static is a fixed membership view.
+type Static struct {
+	view View
+}
+
+var _ Provider = (*Static)(nil)
+
+// NewStatic builds a fixed view of the given members.
+func NewStatic(members ...wire.NodeID) *Static {
+	ms := append([]wire.NodeID(nil), members...)
+	sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+	return &Static{view: View{Members: ms, Version: 1}}
+}
+
+// View implements Provider.
+func (s *Static) View() View { return s.view }
+
+// Receivers implements Provider.
+func (s *Static) Receivers() []wire.NodeID { return s.view.Members }
+
+// DetectorOptions tune a heartbeat failure Detector.
+type DetectorOptions struct {
+	// Interval is the heartbeat period. Default 100ms.
+	Interval time.Duration
+	// SuspectAfter is how long without a heartbeat before a peer is
+	// declared dead. Default 3.5x Interval.
+	SuspectAfter time.Duration
+}
+
+func (o *DetectorOptions) fillDefaults() {
+	if o.Interval <= 0 {
+		o.Interval = 100 * time.Millisecond
+	}
+	if o.SuspectAfter <= 0 {
+		o.SuspectAfter = o.Interval*3 + o.Interval/2
+	}
+}
+
+// Detector is a heartbeat-based group membership tracker for one node. All
+// participating nodes run one; each multicasts JOIN on start, heartbeats
+// every Interval, LEAVE on Close, and removes peers whose heartbeats stop.
+//
+// The detector shares the node's endpoint through a transport.Mux: pass the
+// mux so data-plane protocols keep their own routes.
+type Detector struct {
+	env      env.Env
+	ep       transport.Endpoint
+	opts     DetectorOptions
+	self     wire.NodeID
+	lastSeen map[wire.NodeID]time.Time
+	view     View
+	onChange func(View)
+	inc      uint32
+	hbTimer  env.Timer
+	closed   bool
+}
+
+// NewDetector attaches a detector to mux. onChange (optional) fires on
+// every membership change with the new view.
+func NewDetector(e env.Env, mux *transport.Mux, opts DetectorOptions, onChange func(View)) (*Detector, error) {
+	if e == nil || mux == nil {
+		return nil, errors.New("membership: nil env or mux")
+	}
+	opts.fillDefaults()
+	d := &Detector{
+		env:      e,
+		ep:       mux.Endpoint(),
+		opts:     opts,
+		self:     mux.Endpoint().Local(),
+		lastSeen: make(map[wire.NodeID]time.Time),
+	}
+	d.view = View{Members: []wire.NodeID{d.self}, Version: 1}
+	mux.Handle(wire.TypeJoin, d.onJoin)
+	mux.Handle(wire.TypeLeave, d.onLeave)
+	mux.Handle(wire.TypeHeartbeat, d.onHeartbeat)
+	d.onChange = onChange
+	d.announce(wire.TypeJoin)
+	d.hbTimer = e.After(opts.Interval, d.tick)
+	return d, nil
+}
+
+// View implements Provider.
+func (d *Detector) View() View { return d.view }
+
+// Receivers implements Provider.
+func (d *Detector) Receivers() []wire.NodeID { return d.view.Members }
+
+var _ Provider = (*Detector)(nil)
+
+// Close announces departure and stops the heartbeat timer.
+func (d *Detector) Close() error {
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	if d.hbTimer != nil {
+		d.hbTimer.Stop()
+	}
+	d.announce(wire.TypeLeave)
+	return nil
+}
+
+func (d *Detector) announce(t wire.Type) {
+	body, err := (&wire.HeartbeatBody{Incarnation: d.inc}).Encode(nil)
+	if err != nil {
+		return
+	}
+	// Membership announcements are best-effort; missed ones are repaired
+	// by the next heartbeat (or by the suspect timeout on LEAVE loss).
+	_ = d.ep.Multicast(&wire.Packet{
+		Type:    t,
+		Src:     d.self,
+		SentAt:  d.env.Now(),
+		Payload: body,
+	})
+}
+
+func (d *Detector) tick() {
+	if d.closed {
+		return
+	}
+	d.announce(wire.TypeHeartbeat)
+	d.expire()
+	d.hbTimer = d.env.After(d.opts.Interval, d.tick)
+}
+
+func (d *Detector) expire() {
+	now := d.env.Now()
+	changed := false
+	for id, seen := range d.lastSeen {
+		if now.Sub(seen) > d.opts.SuspectAfter {
+			delete(d.lastSeen, id)
+			changed = true
+		}
+	}
+	if changed {
+		d.rebuild()
+	}
+}
+
+func (d *Detector) onJoin(src wire.NodeID, pkt *wire.Packet) {
+	if d.closed || src == d.self {
+		return
+	}
+	_, known := d.lastSeen[src]
+	d.lastSeen[src] = d.env.Now()
+	if !known {
+		d.rebuild()
+		// Answer a JOIN with an immediate heartbeat so the joiner learns
+		// about us without waiting a full interval.
+		d.announce(wire.TypeHeartbeat)
+	}
+}
+
+func (d *Detector) onHeartbeat(src wire.NodeID, pkt *wire.Packet) {
+	// Data-plane heartbeats (e.g. NAKcast's) carry a data stream ID and
+	// are not membership traffic.
+	if d.closed || src == d.self || pkt.Stream != wire.ControlStream {
+		return
+	}
+	_, known := d.lastSeen[src]
+	d.lastSeen[src] = d.env.Now()
+	if !known {
+		d.rebuild()
+	}
+}
+
+func (d *Detector) onLeave(src wire.NodeID, pkt *wire.Packet) {
+	if d.closed || src == d.self {
+		return
+	}
+	if _, known := d.lastSeen[src]; known {
+		delete(d.lastSeen, src)
+		d.rebuild()
+	}
+}
+
+func (d *Detector) rebuild() {
+	members := make([]wire.NodeID, 0, len(d.lastSeen)+1)
+	members = append(members, d.self)
+	for id := range d.lastSeen {
+		members = append(members, id)
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	d.view = View{Members: members, Version: d.view.Version + 1}
+	if d.onChange != nil {
+		d.onChange(d.view)
+	}
+}

@@ -1,0 +1,215 @@
+package membership_test
+
+import (
+	"testing"
+	"time"
+
+	"adamant/internal/env"
+	"adamant/internal/membership"
+	"adamant/internal/sim"
+	"adamant/internal/transport"
+	"adamant/internal/transport/transporttest"
+	"adamant/internal/wire"
+)
+
+func TestStaticView(t *testing.T) {
+	s := membership.NewStatic(3, 1, 2)
+	v := s.View()
+	if len(v.Members) != 3 || v.Members[0] != 1 || v.Members[2] != 3 {
+		t.Errorf("members = %v, want sorted [1 2 3]", v.Members)
+	}
+	if !v.Contains(2) || v.Contains(9) {
+		t.Error("Contains wrong")
+	}
+	if got := s.Receivers(); len(got) != 3 {
+		t.Errorf("Receivers() = %v", got)
+	}
+	if v.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+type cluster struct {
+	k    *sim.Kernel
+	fab  *transporttest.Fabric
+	dets []*membership.Detector
+}
+
+func newCluster(t *testing.T, n int, opts membership.DetectorOptions) *cluster {
+	t.Helper()
+	c := &cluster{k: sim.New(5)}
+	e := env.NewSim(c.k)
+	c.fab = transporttest.New(e, time.Millisecond)
+	// Create all endpoints before any detector so JOINs reach everyone.
+	for i := 0; i < n; i++ {
+		c.fab.Endpoint(wire.NodeID(i))
+	}
+	for i := 0; i < n; i++ {
+		mux := transport.NewMux(c.fab.Endpoint(wire.NodeID(i)))
+		d, err := membership.NewDetector(e, mux, opts, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.dets = append(c.dets, d)
+	}
+	return c
+}
+
+func TestDetectorConverges(t *testing.T) {
+	c := newCluster(t, 4, membership.DetectorOptions{Interval: 10 * time.Millisecond})
+	if err := c.k.RunFor(100 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range c.dets {
+		v := d.View()
+		if len(v.Members) != 4 {
+			t.Errorf("detector %d sees %d members, want 4: %v", i, len(v.Members), v.Members)
+		}
+	}
+}
+
+func TestGracefulLeave(t *testing.T) {
+	c := newCluster(t, 3, membership.DetectorOptions{Interval: 10 * time.Millisecond})
+	if err := c.k.RunFor(100 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.dets[2].Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.k.RunFor(20 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		v := c.dets[i].View()
+		if len(v.Members) != 2 || v.Contains(2) {
+			t.Errorf("detector %d did not process LEAVE: %v", i, v.Members)
+		}
+	}
+}
+
+func TestCrashDetectedByTimeout(t *testing.T) {
+	c := newCluster(t, 3, membership.DetectorOptions{
+		Interval:     10 * time.Millisecond,
+		SuspectAfter: 35 * time.Millisecond,
+	})
+	if err := c.k.RunFor(100 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// Crash node 2: drop all its traffic (no LEAVE).
+	c.fab.Drop = func(from, to wire.NodeID, pkt *wire.Packet) bool { return from == 2 }
+	if err := c.k.RunFor(200 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		v := c.dets[i].View()
+		if v.Contains(2) {
+			t.Errorf("detector %d still sees crashed node: %v", i, v.Members)
+		}
+		if len(v.Members) != 2 {
+			t.Errorf("detector %d members = %v", i, v.Members)
+		}
+	}
+}
+
+func TestRejoinAfterPartitionHeals(t *testing.T) {
+	c := newCluster(t, 2, membership.DetectorOptions{
+		Interval:     10 * time.Millisecond,
+		SuspectAfter: 35 * time.Millisecond,
+	})
+	if err := c.k.RunFor(60 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	c.fab.Drop = func(from, to wire.NodeID, pkt *wire.Packet) bool { return from == 1 || to == 1 }
+	if err := c.k.RunFor(100 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if c.dets[0].View().Contains(1) {
+		t.Fatal("partitioned node not removed")
+	}
+	c.fab.Drop = nil
+	if err := c.k.RunFor(100 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if !c.dets[0].View().Contains(1) {
+		t.Error("healed node not re-added")
+	}
+}
+
+func TestOnChangeCallback(t *testing.T) {
+	k := sim.New(5)
+	e := env.NewSim(k)
+	fab := transporttest.New(e, time.Millisecond)
+	fab.Endpoint(0)
+	fab.Endpoint(1)
+	changes := 0
+	var last membership.View
+	muxA := transport.NewMux(fab.Endpoint(0))
+	if _, err := membership.NewDetector(e, muxA, membership.DetectorOptions{
+		Interval: 10 * time.Millisecond,
+	}, func(v membership.View) { changes++; last = v }); err != nil {
+		t.Fatal(err)
+	}
+	muxB := transport.NewMux(fab.Endpoint(1))
+	if _, err := membership.NewDetector(e, muxB,
+		membership.DetectorOptions{Interval: 10 * time.Millisecond}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunFor(50 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if changes == 0 {
+		t.Fatal("no change callbacks")
+	}
+	if len(last.Members) != 2 {
+		t.Errorf("last view = %v", last.Members)
+	}
+	if last.Version < 2 {
+		t.Errorf("view version = %d, want >= 2", last.Version)
+	}
+}
+
+func TestDataPlaneHeartbeatsIgnored(t *testing.T) {
+	// A NAKcast-style heartbeat on a data stream must not create members.
+	k := sim.New(5)
+	e := env.NewSim(k)
+	fab := transporttest.New(e, time.Millisecond)
+	fab.Endpoint(0)
+	fab.Endpoint(7)
+	mux := transport.NewMux(fab.Endpoint(0))
+	d, err := membership.NewDetector(e, mux, membership.DetectorOptions{
+		Interval: 10 * time.Millisecond,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := (&wire.HeartbeatBody{HighSeq: 10}).Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb := &wire.Packet{Type: wire.TypeHeartbeat, Src: 7, Stream: 1, SentAt: k.Now(), Payload: body}
+	if err := fab.Endpoint(7).Unicast(0, hb); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunFor(20 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if d.View().Contains(7) {
+		t.Error("data-plane heartbeat created a membership entry")
+	}
+}
+
+func TestNewDetectorValidation(t *testing.T) {
+	if _, err := membership.NewDetector(nil, nil, membership.DetectorOptions{}, nil); err == nil {
+		t.Error("nil args should error")
+	}
+}
+
+func TestDetectorCloseIdempotent(t *testing.T) {
+	c := newCluster(t, 2, membership.DetectorOptions{Interval: 10 * time.Millisecond})
+	if err := c.dets[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.dets[0].Close(); err != nil {
+		t.Errorf("double Close: %v", err)
+	}
+}

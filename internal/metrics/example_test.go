@@ -1,0 +1,40 @@
+package metrics_test
+
+import (
+	"fmt"
+	"time"
+
+	"adamant/internal/metrics"
+)
+
+func ExampleReLate2() {
+	// The paper's worked example: 1000us average latency at 0%, 9%, and
+	// 19% loss.
+	fmt.Println(metrics.ReLate2(1000, 0))
+	fmt.Println(metrics.ReLate2(1000, 9))
+	fmt.Println(metrics.ReLate2(1000, 19))
+	// Output:
+	// 1000
+	// 10000
+	// 20000
+}
+
+func ExampleCollector() {
+	var c metrics.Collector
+	sent := time.Unix(100, 0)
+	c.OnDeliver(sent, sent.Add(1*time.Millisecond), false)
+	c.OnDeliver(sent, sent.Add(3*time.Millisecond), true) // recovered sample
+	s := c.Summary(2)
+	fmt.Printf("reliability %.0f%%, avg latency %.0fus, recovered %d\n",
+		s.Reliability(), s.AvgLatencyUs, s.Recovered)
+	// Output: reliability 100%, avg latency 2000us, recovered 1
+}
+
+func ExampleWelford() {
+	var w metrics.Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	fmt.Printf("mean=%.0f stddev=%.0f\n", w.Mean(), w.StdDev())
+	// Output: mean=5 stddev=2
+}

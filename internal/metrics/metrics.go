@@ -1,0 +1,294 @@
+// Package metrics implements the composite QoS metrics the paper uses to
+// give a single objective score to a (middleware, transport, environment)
+// combination:
+//
+//   - ReLate2: average delivery latency multiplied by (percent loss + 1),
+//     so 9% loss at equal latency scores 10x worse than lossless.
+//   - ReLate2Jit: ReLate2 further multiplied by jitter (the standard
+//     deviation of delivery latency).
+//
+// It also provides the constituent collectors: per-receiver latency and
+// jitter accumulators (Welford online variance), reliability accounting,
+// and per-second bandwidth tracking from which burstiness (the standard
+// deviation of bytes-per-second) is derived.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Welford accumulates mean and variance online in a numerically stable way.
+// The zero value is ready to use.
+type Welford struct {
+	n    uint64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// Count returns the number of observations.
+func (w *Welford) Count() uint64 { return w.n }
+
+// Mean returns the running mean, or 0 with no observations.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the population variance, or 0 with fewer than two
+// observations.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// StdDev returns the population standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Min returns the smallest observation, or 0 with none.
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest observation, or 0 with none.
+func (w *Welford) Max() float64 { return w.max }
+
+// Merge folds other into w, as if every observation of other had been added
+// to w (Chan et al. parallel variance combination).
+func (w *Welford) Merge(other *Welford) {
+	if other.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = *other
+		return
+	}
+	n := w.n + other.n
+	delta := other.mean - w.mean
+	w.m2 += other.m2 + delta*delta*float64(w.n)*float64(other.n)/float64(n)
+	w.mean += delta * float64(other.n) / float64(n)
+	if other.min < w.min {
+		w.min = other.min
+	}
+	if other.max > w.max {
+		w.max = other.max
+	}
+	w.n = n
+}
+
+// ReLate2 combines average latency (in microseconds) with percent loss
+// (in percentage points, e.g. 5.0 for 5%): avgLatencyUs * (lossPct + 1).
+// A 0% loss stream scores exactly its latency; 9% loss scores 10x.
+func ReLate2(avgLatencyUs, lossPct float64) float64 {
+	return avgLatencyUs * (lossPct + 1)
+}
+
+// ReLate2Jit combines ReLate2 with jitter (standard deviation of latency,
+// microseconds): ReLate2 * jitter.
+func ReLate2Jit(avgLatencyUs, lossPct, jitterUs float64) float64 {
+	return ReLate2(avgLatencyUs, lossPct) * jitterUs
+}
+
+// Collector accumulates delivery observations for one receiver (or, after
+// Merge, a set of receivers). The zero value is ready to use.
+type Collector struct {
+	latencyUs Welford
+	recovered uint64
+	delivered uint64
+	duplicate uint64
+	bw        Bandwidth
+}
+
+// OnDeliver records a sample delivered to the application. recovered marks
+// samples reconstructed by the transport (repair or retransmission) rather
+// than received directly.
+func (c *Collector) OnDeliver(sentAt, deliveredAt time.Time, recovered bool) {
+	c.delivered++
+	if recovered {
+		c.recovered++
+	}
+	c.latencyUs.Add(float64(deliveredAt.Sub(sentAt)) / float64(time.Microsecond))
+}
+
+// OnDuplicate records a duplicate delivery suppressed by the transport.
+func (c *Collector) OnDuplicate() { c.duplicate++ }
+
+// OnBytes records network bytes attributable to this receiver at time t
+// (for bandwidth-usage and burstiness accounting).
+func (c *Collector) OnBytes(t time.Time, n int) { c.bw.Add(t, n) }
+
+// Merge folds other's observations into c.
+func (c *Collector) Merge(other *Collector) {
+	c.latencyUs.Merge(&other.latencyUs)
+	c.recovered += other.recovered
+	c.delivered += other.delivered
+	c.duplicate += other.duplicate
+	c.bw.Merge(&other.bw)
+}
+
+// Delivered returns the number of samples delivered.
+func (c *Collector) Delivered() uint64 { return c.delivered }
+
+// Summary computes the composite metrics given the number of samples the
+// writer actually sent to this receiver (i.e. per-receiver expected count).
+func (c *Collector) Summary(sent uint64) Summary {
+	s := Summary{
+		Sent:          sent,
+		Delivered:     c.delivered,
+		Recovered:     c.recovered,
+		Duplicates:    c.duplicate,
+		AvgLatencyUs:  c.latencyUs.Mean(),
+		JitterUs:      c.latencyUs.StdDev(),
+		MinLatencyUs:  c.latencyUs.Min(),
+		MaxLatencyUs:  c.latencyUs.Max(),
+		Bytes:         c.bw.Total(),
+		BurstinessBps: c.bw.Burstiness(),
+		AvgBps:        c.bw.MeanRate(),
+	}
+	if sent > 0 {
+		lost := float64(0)
+		if sent > c.delivered {
+			lost = float64(sent - c.delivered)
+		}
+		s.LossPct = 100 * lost / float64(sent)
+	}
+	s.ReLate2 = ReLate2(s.AvgLatencyUs, s.LossPct)
+	s.ReLate2Jit = ReLate2Jit(s.AvgLatencyUs, s.LossPct, s.JitterUs)
+	return s
+}
+
+// Summary is the computed QoS scorecard for one experiment run.
+type Summary struct {
+	Sent         uint64
+	Delivered    uint64
+	Recovered    uint64
+	Duplicates   uint64
+	LossPct      float64 // unrecovered loss, percentage points
+	AvgLatencyUs float64
+	JitterUs     float64
+	MinLatencyUs float64
+	MaxLatencyUs float64
+	ReLate2      float64
+	ReLate2Jit   float64
+	// Latency tail quantiles (microseconds), when the producer tracked
+	// them (see LatencyTail); zero otherwise.
+	P50LatencyUs  float64
+	P95LatencyUs  float64
+	P99LatencyUs  float64
+	Bytes         uint64  // network bytes observed
+	AvgBps        float64 // mean bandwidth usage, bytes/sec
+	BurstinessBps float64 // stddev of per-second bandwidth usage
+}
+
+// Reliability returns delivered/sent as a percentage (100 = perfect).
+func (s Summary) Reliability() float64 {
+	if s.Sent == 0 {
+		return 0
+	}
+	return 100 * float64(s.Delivered) / float64(s.Sent)
+}
+
+// String implements fmt.Stringer with the fields the paper's figures report.
+func (s Summary) String() string {
+	return fmt.Sprintf("rel=%.2f%% lat=%.0fus jit=%.0fus relate2=%.0f relate2jit=%.3g",
+		s.Reliability(), s.AvgLatencyUs, s.JitterUs, s.ReLate2, s.ReLate2Jit)
+}
+
+// Bandwidth tracks bytes per one-second bucket so that total usage, mean
+// rate, and burstiness (stddev of per-second usage) can be reported. The
+// zero value is ready to use.
+type Bandwidth struct {
+	buckets map[int64]uint64
+	total   uint64
+}
+
+// Add records n bytes observed at time t.
+func (b *Bandwidth) Add(t time.Time, n int) {
+	if n <= 0 {
+		return
+	}
+	if b.buckets == nil {
+		b.buckets = make(map[int64]uint64)
+	}
+	b.buckets[t.Unix()] += uint64(n)
+	b.total += uint64(n)
+}
+
+// Merge folds other into b.
+func (b *Bandwidth) Merge(other *Bandwidth) {
+	if other.buckets != nil {
+		if b.buckets == nil {
+			b.buckets = make(map[int64]uint64)
+		}
+		for k, v := range other.buckets {
+			b.buckets[k] += v
+		}
+	}
+	b.total += other.total
+}
+
+// Total returns the total bytes recorded.
+func (b *Bandwidth) Total() uint64 { return b.total }
+
+// MeanRate returns the mean bytes/second across the active interval
+// (first bucket through last bucket, inclusive).
+func (b *Bandwidth) MeanRate() float64 {
+	lo, hi, ok := b.span()
+	if !ok {
+		return 0
+	}
+	return float64(b.total) / float64(hi-lo+1)
+}
+
+// Burstiness returns the standard deviation of bytes-per-second over the
+// active interval, counting empty seconds inside the interval as zero.
+func (b *Bandwidth) Burstiness() float64 {
+	lo, hi, ok := b.span()
+	if !ok {
+		return 0
+	}
+	var w Welford
+	for s := lo; s <= hi; s++ {
+		w.Add(float64(b.buckets[s]))
+	}
+	return w.StdDev()
+}
+
+func (b *Bandwidth) span() (lo, hi int64, ok bool) {
+	if len(b.buckets) == 0 {
+		return 0, 0, false
+	}
+	first := true
+	for s := range b.buckets {
+		if first {
+			lo, hi = s, s
+			first = false
+			continue
+		}
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	return lo, hi, true
+}

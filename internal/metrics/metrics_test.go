@@ -1,0 +1,255 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestWelfordBasics(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.Count() != 8 {
+		t.Errorf("Count = %d", w.Count())
+	}
+	if !almostEqual(w.Mean(), 5, 1e-9) {
+		t.Errorf("Mean = %v, want 5", w.Mean())
+	}
+	if !almostEqual(w.StdDev(), 2, 1e-9) {
+		t.Errorf("StdDev = %v, want 2", w.StdDev())
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", w.Min(), w.Max())
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.StdDev() != 0 || w.Variance() != 0 {
+		t.Error("empty accumulator should report zeros")
+	}
+	w.Add(42)
+	if w.Mean() != 42 || w.StdDev() != 0 {
+		t.Errorf("single obs: mean=%v std=%v", w.Mean(), w.StdDev())
+	}
+}
+
+// Property: merging two accumulators equals accumulating the concatenation.
+func TestWelfordMergeProperty(t *testing.T) {
+	f := func(seed int64, nA, nB uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var a, b, all Welford
+		for i := 0; i < int(nA); i++ {
+			x := rng.NormFloat64()*10 + 50
+			a.Add(x)
+			all.Add(x)
+		}
+		for i := 0; i < int(nB); i++ {
+			x := rng.NormFloat64()*3 - 20
+			b.Add(x)
+			all.Add(x)
+		}
+		a.Merge(&b)
+		return a.Count() == all.Count() &&
+			almostEqual(a.Mean(), all.Mean(), 1e-6) &&
+			almostEqual(a.Variance(), all.Variance(), 1e-5) &&
+			almostEqual(a.Min(), all.Min(), 0) &&
+			almostEqual(a.Max(), all.Max(), 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWelfordMergeIntoEmpty(t *testing.T) {
+	var a, b Welford
+	b.Add(1)
+	b.Add(3)
+	a.Merge(&b)
+	if a.Count() != 2 || a.Mean() != 2 {
+		t.Errorf("merge into empty: count=%d mean=%v", a.Count(), a.Mean())
+	}
+	var c Welford
+	a.Merge(&c) // merging empty is a no-op
+	if a.Count() != 2 {
+		t.Errorf("merge of empty changed count to %d", a.Count())
+	}
+}
+
+func TestReLate2PaperExamples(t *testing.T) {
+	// From the paper: 1000us latency, 0% loss -> 1000; 9% -> 10000; 19% -> 20000.
+	tests := []struct {
+		latUs, lossPct, want float64
+	}{
+		{1000, 0, 1000},
+		{1000, 9, 10000},
+		{1000, 19, 20000},
+		{500, 5, 3000},
+	}
+	for _, tt := range tests {
+		if got := ReLate2(tt.latUs, tt.lossPct); !almostEqual(got, tt.want, 1e-9) {
+			t.Errorf("ReLate2(%v, %v) = %v, want %v", tt.latUs, tt.lossPct, got, tt.want)
+		}
+	}
+}
+
+func TestReLate2Jit(t *testing.T) {
+	if got := ReLate2Jit(1000, 9, 2); !almostEqual(got, 20000, 1e-9) {
+		t.Errorf("ReLate2Jit = %v, want 20000", got)
+	}
+}
+
+// Properties: ReLate2 >= latency for any non-negative loss, and is monotone
+// in both latency and loss.
+func TestReLate2Properties(t *testing.T) {
+	f := func(latRaw, lossRaw uint16) bool {
+		lat := float64(latRaw)
+		loss := float64(lossRaw%101) / 1.0
+		v := ReLate2(lat, loss)
+		if v < lat {
+			return false
+		}
+		if ReLate2(lat+1, loss) < v {
+			return false
+		}
+		if ReLate2(lat, loss+1) < v {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCollectorSummary(t *testing.T) {
+	base := time.Unix(1000, 0)
+	var c Collector
+	// 95 direct deliveries at 1ms, 4 recovered at 10ms, 1 lost (of 100).
+	for i := 0; i < 95; i++ {
+		c.OnDeliver(base, base.Add(time.Millisecond), false)
+	}
+	for i := 0; i < 4; i++ {
+		c.OnDeliver(base, base.Add(10*time.Millisecond), true)
+	}
+	s := c.Summary(100)
+	if s.Delivered != 99 || s.Recovered != 4 {
+		t.Errorf("delivered=%d recovered=%d", s.Delivered, s.Recovered)
+	}
+	if !almostEqual(s.LossPct, 1.0, 1e-9) {
+		t.Errorf("LossPct = %v, want 1", s.LossPct)
+	}
+	if !almostEqual(s.Reliability(), 99, 1e-9) {
+		t.Errorf("Reliability = %v, want 99", s.Reliability())
+	}
+	wantAvg := (95*1000.0 + 4*10000.0) / 99
+	if !almostEqual(s.AvgLatencyUs, wantAvg, 1e-6) {
+		t.Errorf("AvgLatencyUs = %v, want %v", s.AvgLatencyUs, wantAvg)
+	}
+	if !almostEqual(s.ReLate2, wantAvg*2, 1e-6) {
+		t.Errorf("ReLate2 = %v, want %v", s.ReLate2, wantAvg*2)
+	}
+	if s.ReLate2Jit <= s.ReLate2 {
+		t.Errorf("ReLate2Jit = %v should exceed ReLate2 = %v for jitter > 1", s.ReLate2Jit, s.ReLate2)
+	}
+}
+
+func TestCollectorDeliveredExceedsSent(t *testing.T) {
+	// Duplicate-free overdelivery (e.g. sent counter not yet final) must not
+	// produce negative loss.
+	base := time.Unix(0, 0)
+	var c Collector
+	c.OnDeliver(base, base.Add(time.Millisecond), false)
+	c.OnDeliver(base, base.Add(time.Millisecond), false)
+	s := c.Summary(1)
+	if s.LossPct != 0 {
+		t.Errorf("LossPct = %v, want 0 (clamped)", s.LossPct)
+	}
+}
+
+func TestCollectorZeroSent(t *testing.T) {
+	var c Collector
+	s := c.Summary(0)
+	if s.LossPct != 0 || s.Reliability() != 0 {
+		t.Errorf("zero-sent summary: %+v", s)
+	}
+}
+
+func TestCollectorMerge(t *testing.T) {
+	base := time.Unix(0, 0)
+	var a, b Collector
+	a.OnDeliver(base, base.Add(time.Millisecond), false)
+	b.OnDeliver(base, base.Add(3*time.Millisecond), true)
+	b.OnDuplicate()
+	b.OnBytes(base, 100)
+	a.Merge(&b)
+	s := a.Summary(2)
+	if s.Delivered != 2 || s.Recovered != 1 || s.Duplicates != 1 {
+		t.Errorf("merged summary: %+v", s)
+	}
+	if !almostEqual(s.AvgLatencyUs, 2000, 1e-9) {
+		t.Errorf("AvgLatencyUs = %v, want 2000", s.AvgLatencyUs)
+	}
+	if s.Bytes != 100 {
+		t.Errorf("Bytes = %d, want 100", s.Bytes)
+	}
+}
+
+func TestBandwidth(t *testing.T) {
+	var b Bandwidth
+	t0 := time.Unix(100, 0)
+	b.Add(t0, 1000)
+	b.Add(t0.Add(500*time.Millisecond), 1000) // same second
+	b.Add(t0.Add(2*time.Second), 4000)        // second 102; second 101 empty
+	if b.Total() != 6000 {
+		t.Errorf("Total = %d", b.Total())
+	}
+	if got, want := b.MeanRate(), 2000.0; !almostEqual(got, want, 1e-9) {
+		t.Errorf("MeanRate = %v, want %v", got, want)
+	}
+	// Buckets: 2000, 0, 4000 -> mean 2000, variance (0+4e6+4e6)/3.
+	wantStd := math.Sqrt((4e6 + 0 + 4e6) / 3)
+	if got := b.Burstiness(); !almostEqual(got, wantStd, 1e-6) {
+		t.Errorf("Burstiness = %v, want %v", got, wantStd)
+	}
+}
+
+func TestBandwidthEmptyAndNegative(t *testing.T) {
+	var b Bandwidth
+	if b.MeanRate() != 0 || b.Burstiness() != 0 || b.Total() != 0 {
+		t.Error("empty bandwidth should report zeros")
+	}
+	b.Add(time.Unix(0, 0), -5)
+	if b.Total() != 0 {
+		t.Error("negative byte counts must be ignored")
+	}
+}
+
+func TestBandwidthMerge(t *testing.T) {
+	var a, b Bandwidth
+	a.Add(time.Unix(10, 0), 100)
+	b.Add(time.Unix(10, 0), 50)
+	b.Add(time.Unix(11, 0), 200)
+	a.Merge(&b)
+	if a.Total() != 350 {
+		t.Errorf("Total = %d, want 350", a.Total())
+	}
+	if got := a.MeanRate(); !almostEqual(got, 175, 1e-9) {
+		t.Errorf("MeanRate = %v, want 175", got)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	var c Collector
+	c.OnDeliver(time.Unix(0, 0), time.Unix(0, int64(time.Millisecond)), false)
+	got := c.Summary(1).String()
+	if got == "" {
+		t.Error("empty String()")
+	}
+}

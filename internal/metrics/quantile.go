@@ -1,0 +1,162 @@
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// P2Quantile estimates a single quantile online in O(1) space using the
+// P-square algorithm (Jain & Chlamtac, 1985). The latency tails the paper's
+// jitter discussion cares about (p95/p99) are exactly what a mean/stddev
+// pair hides, so Summary production code can afford to track them without
+// storing every observation.
+type P2Quantile struct {
+	p       float64
+	n       int        // observations so far
+	heights [5]float64 // marker heights
+	pos     [5]float64 // actual marker positions (1-based)
+	want    [5]float64 // desired marker positions
+	incr    [5]float64 // desired position increments per observation
+}
+
+// NewP2Quantile returns an estimator for the p-quantile, 0 < p < 1.
+func NewP2Quantile(p float64) (*P2Quantile, error) {
+	if p <= 0 || p >= 1 {
+		return nil, fmt.Errorf("metrics: quantile %v out of (0,1)", p)
+	}
+	q := &P2Quantile{p: p}
+	q.want = [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5}
+	q.incr = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+	return q, nil
+}
+
+// Add folds one observation into the estimator.
+func (q *P2Quantile) Add(x float64) {
+	if q.n < 5 {
+		q.heights[q.n] = x
+		q.n++
+		if q.n == 5 {
+			sort.Float64s(q.heights[:])
+			for i := range q.pos {
+				q.pos[i] = float64(i + 1)
+			}
+		}
+		return
+	}
+	q.n++
+
+	// Find the cell k such that heights[k] <= x < heights[k+1], adjusting
+	// extremes.
+	var k int
+	switch {
+	case x < q.heights[0]:
+		q.heights[0] = x
+		k = 0
+	case x >= q.heights[4]:
+		q.heights[4] = x
+		k = 3
+	default:
+		for k = 0; k < 4; k++ {
+			if x < q.heights[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		q.pos[i]++
+	}
+	for i := range q.want {
+		q.want[i] += q.incr[i]
+	}
+
+	// Adjust interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := q.want[i] - q.pos[i]
+		if (d >= 1 && q.pos[i+1]-q.pos[i] > 1) || (d <= -1 && q.pos[i-1]-q.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1
+			}
+			h := q.parabolic(i, sign)
+			if q.heights[i-1] < h && h < q.heights[i+1] {
+				q.heights[i] = h
+			} else {
+				q.heights[i] = q.linear(i, sign)
+			}
+			q.pos[i] += sign
+		}
+	}
+}
+
+func (q *P2Quantile) parabolic(i int, d float64) float64 {
+	return q.heights[i] + d/(q.pos[i+1]-q.pos[i-1])*
+		((q.pos[i]-q.pos[i-1]+d)*(q.heights[i+1]-q.heights[i])/(q.pos[i+1]-q.pos[i])+
+			(q.pos[i+1]-q.pos[i]-d)*(q.heights[i]-q.heights[i-1])/(q.pos[i]-q.pos[i-1]))
+}
+
+func (q *P2Quantile) linear(i int, d float64) float64 {
+	di := int(d)
+	return q.heights[i] + d*(q.heights[i+di]-q.heights[i])/(q.pos[i+di]-q.pos[i])
+}
+
+// Count returns the number of observations.
+func (q *P2Quantile) Count() int { return q.n }
+
+// Value returns the current quantile estimate. With fewer than five
+// observations it falls back to the exact order statistic.
+func (q *P2Quantile) Value() (float64, error) {
+	if q.n == 0 {
+		return 0, errors.New("metrics: no observations")
+	}
+	if q.n < 5 {
+		tmp := make([]float64, q.n)
+		copy(tmp, q.heights[:q.n])
+		sort.Float64s(tmp)
+		idx := int(q.p * float64(q.n))
+		if idx >= q.n {
+			idx = q.n - 1
+		}
+		return tmp[idx], nil
+	}
+	return q.heights[2], nil
+}
+
+// LatencyTail tracks the paper-relevant latency quantiles (p50, p95, p99)
+// online. The zero value is not usable; construct with NewLatencyTail.
+type LatencyTail struct {
+	p50, p95, p99 *P2Quantile
+}
+
+// NewLatencyTail returns a three-quantile latency tracker.
+func NewLatencyTail() *LatencyTail {
+	p50, err := NewP2Quantile(0.50)
+	if err != nil {
+		panic(err) // static quantiles; cannot fail
+	}
+	p95, err := NewP2Quantile(0.95)
+	if err != nil {
+		panic(err)
+	}
+	p99, err := NewP2Quantile(0.99)
+	if err != nil {
+		panic(err)
+	}
+	return &LatencyTail{p50: p50, p95: p95, p99: p99}
+}
+
+// Add records one latency observation (any consistent unit).
+func (l *LatencyTail) Add(x float64) {
+	l.p50.Add(x)
+	l.p95.Add(x)
+	l.p99.Add(x)
+}
+
+// Snapshot returns the current (p50, p95, p99) estimates; zeros with no
+// observations.
+func (l *LatencyTail) Snapshot() (p50, p95, p99 float64) {
+	p50, _ = l.p50.Value()
+	p95, _ = l.p95.Value()
+	p99, _ = l.p99.Value()
+	return p50, p95, p99
+}

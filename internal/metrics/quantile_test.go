@@ -1,0 +1,163 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func exactQuantile(xs []float64, p float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	idx := int(p * float64(len(s)))
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+func TestP2QuantileValidation(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 1.5} {
+		if _, err := NewP2Quantile(p); err == nil {
+			t.Errorf("p=%v accepted", p)
+		}
+	}
+	q, err := NewP2Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Value(); err == nil {
+		t.Error("Value with no observations should error")
+	}
+}
+
+func TestP2QuantileSmallN(t *testing.T) {
+	q, err := NewP2Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{9, 1, 5} {
+		q.Add(x)
+	}
+	v, err := q.Value()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 5 {
+		t.Errorf("median of {1,5,9} = %v, want 5 (exact fallback)", v)
+	}
+	if q.Count() != 3 {
+		t.Errorf("Count = %d", q.Count())
+	}
+}
+
+func TestP2QuantileUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, p := range []float64{0.5, 0.95, 0.99} {
+		q, err := NewP2Quantile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var xs []float64
+		for i := 0; i < 20000; i++ {
+			x := rng.Float64() * 1000
+			xs = append(xs, x)
+			q.Add(x)
+		}
+		got, err := q.Value()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := exactQuantile(xs, p)
+		if rel := math.Abs(got-want) / want; rel > 0.05 {
+			t.Errorf("p%v: estimate %.1f vs exact %.1f (rel err %.3f)", p*100, got, want, rel)
+		}
+	}
+}
+
+func TestP2QuantileBimodal(t *testing.T) {
+	// Latency-like distribution: 95% fast around 1ms, 5% recoveries around
+	// 100ms. p50 must sit in the fast mode, p99 in the slow one.
+	rng := rand.New(rand.NewSource(2))
+	tail := NewLatencyTail()
+	for i := 0; i < 50000; i++ {
+		x := 1000 + rng.NormFloat64()*50
+		if rng.Float64() < 0.05 {
+			x = 100000 + rng.NormFloat64()*5000
+		}
+		tail.Add(x)
+	}
+	p50, p95, p99 := tail.Snapshot()
+	if p50 < 800 || p50 > 1200 {
+		t.Errorf("p50 = %.0f, want ~1000", p50)
+	}
+	if p99 < 80000 {
+		t.Errorf("p99 = %.0f, want in the recovery mode (~100000)", p99)
+	}
+	if !(p50 <= p95 && p95 <= p99) {
+		t.Errorf("quantiles not monotone: %v %v %v", p50, p95, p99)
+	}
+}
+
+// Property: estimates are always within the observed range and quantile
+// ordering is preserved.
+func TestP2QuantileProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := 5 + int(nRaw%2000)
+		rng := rand.New(rand.NewSource(seed))
+		q50, err := NewP2Quantile(0.5)
+		if err != nil {
+			return false
+		}
+		q95, err := NewP2Quantile(0.95)
+		if err != nil {
+			return false
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < n; i++ {
+			x := rng.NormFloat64()*100 + 500
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+			q50.Add(x)
+			q95.Add(x)
+		}
+		v50, err := q50.Value()
+		if err != nil {
+			return false
+		}
+		v95, err := q95.Value()
+		if err != nil {
+			return false
+		}
+		return v50 >= lo && v95 <= hi && v50 <= v95+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLatencyTailEmpty(t *testing.T) {
+	p50, p95, p99 := NewLatencyTail().Snapshot()
+	if p50 != 0 || p95 != 0 || p99 != 0 {
+		t.Error("empty tail should snapshot zeros")
+	}
+}
+
+func BenchmarkP2QuantileAdd(b *testing.B) {
+	q, err := NewP2Quantile(0.99)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1024)
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Add(xs[i&1023])
+	}
+}

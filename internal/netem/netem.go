@@ -1,0 +1,505 @@
+// Package netem emulates the cloud computing environment the paper
+// provisions from Emulab: a switched LAN of nodes with configurable machine
+// type (CPU speed), link bandwidth, and end-host packet loss.
+//
+// The emulator runs in virtual time on an env.Env (normally a SimEnv) and
+// models, per packet:
+//
+//  1. sender-side CPU cost (middleware marshal + OS send path), serialized
+//     on the sending node's CPU and scaled by its machine's CPUFactor;
+//  2. egress serialization delay (frame bits / link bandwidth) on a bounded
+//     drop-tail egress queue;
+//  3. switch store-and-forward plus propagation delay;
+//  4. receiver-side CPU cost, serialized on the receiving node's CPU —
+//     which is how CPU contention turns into queueing latency on slow
+//     machines at high rates;
+//  5. loss: end-host random drop of data-bearing packets (the paper's
+//     methodology: readers programmatically drop the configured percentage),
+//     plus an optional Gilbert-Elliott bursty link-loss model for failure-
+//     injection tests.
+//
+// Multicast follows switched-Ethernet semantics: the sender serializes a
+// frame once and the switch replicates it to every other node.
+package netem
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"adamant/internal/env"
+	"adamant/internal/metrics"
+	"adamant/internal/wire"
+)
+
+// Machine describes a compute platform profile. CPUFactor scales every
+// CPU cost relative to the reference machine (pc3000 == 1.0).
+type Machine struct {
+	Name      string
+	MHz       int
+	RAMMB     int
+	CPUFactor float64
+}
+
+// Machine profiles. PC850 and PC3000 mirror the Emulab hardware used in the
+// paper; PC1500 and PC5000 are interpolated/extrapolated profiles used to
+// exercise "environment unknown until runtime" scenarios.
+var (
+	PC850  = Machine{Name: "pc850", MHz: 850, RAMMB: 256, CPUFactor: 5.0}
+	PC1500 = Machine{Name: "pc1500", MHz: 1500, RAMMB: 512, CPUFactor: 2.2}
+	PC3000 = Machine{Name: "pc3000", MHz: 3000, RAMMB: 2048, CPUFactor: 1.0}
+	PC5000 = Machine{Name: "pc5000", MHz: 5000, RAMMB: 8192, CPUFactor: 0.7}
+)
+
+// MachineByName resolves a machine profile by its Emulab-style name.
+func MachineByName(name string) (Machine, error) {
+	for _, m := range []Machine{PC850, PC1500, PC3000, PC5000} {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Machine{}, fmt.Errorf("netem: unknown machine type %q", name)
+}
+
+// Bandwidth is a link speed in bits per second.
+type Bandwidth int64
+
+// LAN bandwidths from the paper's Table 1.
+const (
+	Mbps10  Bandwidth = 10_000_000
+	Mbps100 Bandwidth = 100_000_000
+	Gbps1   Bandwidth = 1_000_000_000
+)
+
+// String implements fmt.Stringer ("10Mb", "100Mb", "1Gb", else raw bps).
+func (b Bandwidth) String() string {
+	switch b {
+	case Mbps10:
+		return "10Mb"
+	case Mbps100:
+		return "100Mb"
+	case Gbps1:
+		return "1Gb"
+	}
+	return fmt.Sprintf("%dbps", int64(b))
+}
+
+// BandwidthByName parses the paper's bandwidth labels.
+func BandwidthByName(name string) (Bandwidth, error) {
+	switch name {
+	case "10Mb":
+		return Mbps10, nil
+	case "100Mb":
+		return Mbps100, nil
+	case "1Gb":
+		return Gbps1, nil
+	}
+	return 0, fmt.Errorf("netem: unknown bandwidth %q", name)
+}
+
+// FrameOverhead is the per-frame Ethernet+IP+UDP overhead in bytes added on
+// top of the wire-format packet when modeling serialization and bandwidth.
+const FrameOverhead = 54
+
+// CostModel gives per-packet CPU costs on the reference machine
+// (CPUFactor 1.0). Costs scale linearly with payload size via the PerKB
+// terms and are multiplied by the node's CPUFactor and ProcScale.
+type CostModel struct {
+	SendBase  time.Duration
+	SendPerKB time.Duration
+	RecvBase  time.Duration
+	RecvPerKB time.Duration
+}
+
+// DefaultCostModel approximates a 2005-era QoS pub/sub middleware data path
+// (marshal, QoS bookkeeping, socket syscall) on the pc3000 reference node.
+var DefaultCostModel = CostModel{
+	SendBase:  18 * time.Microsecond,
+	SendPerKB: 3 * time.Microsecond,
+	RecvBase:  26 * time.Microsecond,
+	RecvPerKB: 3 * time.Microsecond,
+}
+
+func (c CostModel) sendCost(frameBytes int) time.Duration {
+	return c.SendBase + time.Duration(frameBytes)*c.SendPerKB/1024
+}
+
+func (c CostModel) recvCost(frameBytes int) time.Duration {
+	return c.RecvBase + time.Duration(frameBytes)*c.RecvPerKB/1024
+}
+
+// Config parameterizes a Network. The zero value is completed by New with
+// the defaults documented on each field.
+type Config struct {
+	// Bandwidth is the LAN link speed. Default: Gbps1.
+	Bandwidth Bandwidth
+	// PropDelay is one-way propagation plus switch latency. Default 30us.
+	PropDelay time.Duration
+	// MaxQueueDelay bounds each node's egress queueing delay; a frame that
+	// would wait longer is dropped (drop-tail). Default 50ms.
+	MaxQueueDelay time.Duration
+	// Cost is the per-packet CPU cost model. Default DefaultCostModel.
+	Cost CostModel
+}
+
+func (c *Config) fillDefaults() {
+	if c.Bandwidth == 0 {
+		c.Bandwidth = Gbps1
+	}
+	if c.PropDelay == 0 {
+		c.PropDelay = 30 * time.Microsecond
+	}
+	if c.MaxQueueDelay == 0 {
+		c.MaxQueueDelay = 50 * time.Millisecond
+	}
+	if c.Cost == (CostModel{}) {
+		c.Cost = DefaultCostModel
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Bandwidth < 0 {
+		return errors.New("netem: negative bandwidth")
+	}
+	if c.PropDelay < 0 {
+		return errors.New("netem: negative propagation delay")
+	}
+	if c.MaxQueueDelay < 0 {
+		return errors.New("netem: negative max queue delay")
+	}
+	return nil
+}
+
+// Network is a single switched LAN of emulated nodes.
+type Network struct {
+	env   env.Env
+	cfg   Config
+	nodes []*Node
+}
+
+// New builds a LAN on the given environment.
+func New(e env.Env, cfg Config) (*Network, error) {
+	if e == nil {
+		return nil, errors.New("netem: nil env")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.fillDefaults()
+	return &Network{env: e, cfg: cfg}, nil
+}
+
+// Env returns the environment the network runs on.
+func (n *Network) Env() env.Env { return n.env }
+
+// Config returns the (default-filled) configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// AddNode attaches a node of the given machine type and returns it. Node
+// IDs are assigned densely in attachment order.
+func (n *Network) AddNode(m Machine) *Node {
+	node := &Node{
+		net:       n,
+		id:        wire.NodeID(len(n.nodes)),
+		machine:   m,
+		procScale: 1.0,
+		lossTypes: defaultLossTypes(),
+		rng:       n.env.Rand(fmt.Sprintf("netem/node/%d", len(n.nodes))),
+	}
+	n.nodes = append(n.nodes, node)
+	return node
+}
+
+// Node returns the node with the given ID, or nil.
+func (n *Network) Node(id wire.NodeID) *Node {
+	if int(id) >= len(n.nodes) {
+		return nil
+	}
+	return n.nodes[id]
+}
+
+// Nodes returns all attached nodes in ID order. The returned slice is a
+// copy.
+func (n *Network) Nodes() []*Node {
+	return append([]*Node(nil), n.nodes...)
+}
+
+func defaultLossTypes() map[wire.Type]bool {
+	return map[wire.Type]bool{
+		wire.TypeData:    true,
+		wire.TypeRetrans: true,
+		wire.TypeRepair:  true,
+	}
+}
+
+// Stats are cumulative per-node traffic counters.
+type Stats struct {
+	TxPackets, RxPackets uint64
+	TxBytes, RxBytes     uint64
+	DroppedLoss          uint64 // end-host/link loss drops
+	DroppedQueue         uint64 // egress queue overflows
+}
+
+// Node is one emulated host on the LAN. It implements the transport
+// Endpoint contract: Unicast, Multicast, Work, SetHandler, Local, MTU.
+//
+// A node is not safe for concurrent use; all interaction must happen from
+// env callbacks, which the env serializes.
+type Node struct {
+	net       *Network
+	id        wire.NodeID
+	machine   Machine
+	procScale float64
+	handler   func(src wire.NodeID, pkt *wire.Packet)
+
+	lossPct   float64
+	lossTypes map[wire.Type]bool
+	ge        *gilbertElliott
+	partition bool
+
+	cpuBusyUntil  time.Time
+	linkBusyUntil time.Time
+
+	stats Stats
+	rxBW  metrics.Bandwidth
+	txBW  metrics.Bandwidth
+	rng   *rand.Rand
+}
+
+// Local returns the node's ID.
+func (nd *Node) Local() wire.NodeID { return nd.id }
+
+// Machine returns the node's machine profile.
+func (nd *Node) Machine() Machine { return nd.machine }
+
+// MTU returns the maximum payload the node will accept for a single send.
+func (nd *Node) MTU() int { return 9000 }
+
+// Stats returns a copy of the node's traffic counters.
+func (nd *Node) Stats() Stats { return nd.stats }
+
+// RxBandwidth returns the receive-side bandwidth accumulator.
+func (nd *Node) RxBandwidth() *metrics.Bandwidth { return &nd.rxBW }
+
+// TxBandwidth returns the transmit-side bandwidth accumulator.
+func (nd *Node) TxBandwidth() *metrics.Bandwidth { return &nd.txBW }
+
+// SetProcScale sets an additional multiplier on the node's CPU costs,
+// modeling middleware implementation overhead differences (the DDS
+// implementation axis of the paper's Table 1). scale <= 0 is reset to 1.
+func (nd *Node) SetProcScale(scale float64) {
+	if scale <= 0 {
+		scale = 1
+	}
+	nd.procScale = scale
+}
+
+// SetLoss configures end-host random drop probability (percent, 0-100) for
+// data-bearing packet types (DATA, RETRANS, REPAIR), mirroring the paper's
+// methodology of dropping at the receiving data readers.
+func (nd *Node) SetLoss(pct float64) {
+	if pct < 0 {
+		pct = 0
+	}
+	if pct > 100 {
+		pct = 100
+	}
+	nd.lossPct = pct
+}
+
+// SetLossTypes overrides which packet types are subject to end-host loss.
+func (nd *Node) SetLossTypes(types ...wire.Type) {
+	nd.lossTypes = make(map[wire.Type]bool, len(types))
+	for _, t := range types {
+		nd.lossTypes[t] = true
+	}
+}
+
+// SetBurstLoss enables a Gilbert-Elliott two-state bursty loss model on the
+// node's inbound path in addition to (and before) uniform end-host loss.
+// pGoodToBad/pBadToGood are per-packet transition probabilities and lossBad
+// is the drop probability while in the bad state. Passing zeros disables it.
+func (nd *Node) SetBurstLoss(pGoodToBad, pBadToGood, lossBad float64) {
+	if pGoodToBad <= 0 {
+		nd.ge = nil
+		return
+	}
+	nd.ge = &gilbertElliott{p: pGoodToBad, r: pBadToGood, h: lossBad}
+}
+
+// SetPartitioned isolates the node: while true, every packet to or from it
+// is dropped (failure injection).
+func (nd *Node) SetPartitioned(v bool) { nd.partition = v }
+
+// SetHandler registers the receive callback. The handler runs in env
+// callback context; the packet it receives is owned by the handler.
+func (nd *Node) SetHandler(h func(src wire.NodeID, pkt *wire.Packet)) { nd.handler = h }
+
+// Work consumes local CPU: cost is at reference-machine speed and is scaled
+// by the node's CPUFactor and ProcScale. Subsequent packet processing on
+// this node queues behind it. It returns the time until the CPU is free
+// again (the scaled cost plus any queueing behind earlier work).
+func (nd *Node) Work(cost time.Duration) time.Duration {
+	if cost <= 0 {
+		return 0
+	}
+	now := nd.net.env.Now()
+	start := nd.cpuBusyUntil
+	if start.Before(now) {
+		start = now
+	}
+	nd.cpuBusyUntil = start.Add(nd.scaled(cost))
+	return nd.cpuBusyUntil.Sub(now)
+}
+
+func (nd *Node) scaled(d time.Duration) time.Duration {
+	return time.Duration(float64(d) * nd.machine.CPUFactor * nd.procScale)
+}
+
+// ScaleCPU converts a reference-machine duration to this node's speed
+// without occupying the node's CPU.
+func (nd *Node) ScaleCPU(d time.Duration) time.Duration { return nd.scaled(d) }
+
+// Unicast sends pkt to dst, modeling the full cost pipeline. It returns an
+// error only for malformed packets or unknown destinations; loss and queue
+// drops are silent, as on a real network.
+func (nd *Node) Unicast(dst wire.NodeID, pkt *wire.Packet) error {
+	target := nd.net.Node(dst)
+	if target == nil {
+		return fmt.Errorf("netem: unicast to unknown node %d", dst)
+	}
+	if dst == nd.id {
+		return errors.New("netem: unicast to self")
+	}
+	return nd.transmit([]*Node{target}, pkt)
+}
+
+// Multicast sends pkt to every other node on the LAN with one egress
+// serialization (switched-Ethernet multicast semantics).
+func (nd *Node) Multicast(pkt *wire.Packet) error {
+	var targets []*Node
+	for _, t := range nd.net.nodes {
+		if t.id != nd.id {
+			targets = append(targets, t)
+		}
+	}
+	return nd.transmit(targets, pkt)
+}
+
+func (nd *Node) transmit(targets []*Node, pkt *wire.Packet) error {
+	if len(pkt.Payload) > nd.MTU() {
+		return fmt.Errorf("netem: payload %d exceeds MTU %d", len(pkt.Payload), nd.MTU())
+	}
+	e := nd.net.env
+	now := e.Now()
+	frame := pkt.EncodedSize() + FrameOverhead
+
+	if nd.partition {
+		nd.stats.DroppedLoss++
+		return nil
+	}
+
+	// Sender CPU: marshal + send path, serialized on this node's CPU.
+	cpuStart := maxTime(now, nd.cpuBusyUntil)
+	cpuDone := cpuStart.Add(nd.scaled(nd.net.cfg.Cost.sendCost(frame)))
+	nd.cpuBusyUntil = cpuDone
+
+	// Egress serialization on the NIC, after the CPU hands the frame off.
+	// Frames that would queue longer than MaxQueueDelay are dropped.
+	txTime := serialization(frame, nd.net.cfg.Bandwidth)
+	linkStart := maxTime(cpuDone, nd.linkBusyUntil)
+	if linkStart.Sub(cpuDone) > nd.net.cfg.MaxQueueDelay {
+		nd.stats.DroppedQueue++
+		return nil
+	}
+	linkDone := linkStart.Add(txTime)
+	nd.linkBusyUntil = linkDone
+
+	nd.stats.TxPackets++
+	nd.stats.TxBytes += uint64(frame)
+	nd.txBW.Add(now, frame)
+
+	// Switch store-and-forward: the frame is fully received by the switch
+	// at linkDone, retransmitted on each destination port (second
+	// serialization), then propagates.
+	arrival := linkDone.Add(txTime).Add(nd.net.cfg.PropDelay)
+	clone := pkt.Clone()
+	src := nd.id
+	e.After(arrival.Sub(now), func() {
+		for _, t := range targets {
+			t.receive(src, clone, frame)
+		}
+	})
+	return nil
+}
+
+func (nd *Node) receive(src wire.NodeID, pkt *wire.Packet, frame int) {
+	e := nd.net.env
+	now := e.Now()
+	if nd.partition {
+		nd.stats.DroppedLoss++
+		return
+	}
+	// Bursty link loss first (applies to all packet types).
+	if nd.ge != nil && nd.ge.drop(nd.rng) {
+		nd.stats.DroppedLoss++
+		return
+	}
+	// End-host loss for data-bearing packets (paper methodology).
+	if nd.lossPct > 0 && nd.lossTypes[pkt.Type] {
+		if nd.rng.Float64()*100 < nd.lossPct {
+			nd.stats.DroppedLoss++
+			return
+		}
+	}
+	nd.stats.RxPackets++
+	nd.stats.RxBytes += uint64(frame)
+	nd.rxBW.Add(now, frame)
+
+	// Receiver CPU: demarshal + dispatch, serialized on this node's CPU.
+	cpuStart := maxTime(now, nd.cpuBusyUntil)
+	cpuDone := cpuStart.Add(nd.scaled(nd.net.cfg.Cost.recvCost(frame)))
+	nd.cpuBusyUntil = cpuDone
+	e.After(cpuDone.Sub(now), func() {
+		if nd.handler != nil {
+			nd.handler(src, pkt)
+		}
+	})
+}
+
+func serialization(frameBytes int, bw Bandwidth) time.Duration {
+	if bw <= 0 {
+		return 0
+	}
+	bits := float64(frameBytes * 8)
+	sec := bits / float64(bw)
+	return time.Duration(sec * float64(time.Second))
+}
+
+func maxTime(a, b time.Time) time.Time {
+	if a.After(b) {
+		return a
+	}
+	return b
+}
+
+// gilbertElliott is the classic two-state bursty loss channel.
+type gilbertElliott struct {
+	p, r, h float64 // P(good->bad), P(bad->good), P(drop | bad)
+	bad     bool
+}
+
+func (g *gilbertElliott) drop(rng *rand.Rand) bool {
+	if g.bad {
+		if rng.Float64() < g.r {
+			g.bad = false
+		}
+	} else {
+		if rng.Float64() < g.p {
+			g.bad = true
+		}
+	}
+	return g.bad && rng.Float64() < g.h
+}

@@ -1,0 +1,226 @@
+// Package sim provides a deterministic discrete-event simulation kernel: a
+// virtual clock, an event queue, and seeded random-number streams.
+//
+// The kernel is the substitute for the paper's Emulab testbed time base.
+// Everything above it (network emulation, transport protocols, middleware)
+// is written against the environment abstraction in package env, so the same
+// protocol code runs under this kernel in virtual time and under the real
+// clock in the examples.
+//
+// Determinism contract: given the same seed and the same sequence of
+// Schedule calls, a simulation produces bit-identical event orderings.
+// Events scheduled for the same instant fire in scheduling order.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Epoch is the virtual time at which every simulation starts. The concrete
+// value is arbitrary; a fixed nonzero epoch catches code that confuses
+// wall-clock and simulated time.
+var Epoch = time.Date(2010, time.November, 29, 0, 0, 0, 0, time.UTC)
+
+// Event is a scheduled callback. The zero value is not useful; events are
+// created by Kernel.At and Kernel.After.
+type Event struct {
+	at    time.Time
+	seq   uint64 // tie-breaker: FIFO among events at the same instant
+	fn    func()
+	index int // heap index, -1 once fired or canceled
+	owner *Kernel
+}
+
+// Cancel removes the event from the queue. It returns false if the event
+// already fired or was already canceled. Cancel is idempotent.
+func (e *Event) Cancel() bool {
+	if e == nil || e.index < 0 || e.fn == nil {
+		return false
+	}
+	e.kernelRemove()
+	return true
+}
+
+// Time returns the virtual time the event is (or was) scheduled for.
+func (e *Event) Time() time.Time { return e.at }
+
+// kernelRemove is set up by the owning kernel; splitting it out keeps Event
+// free of a kernel back-pointer field in the hot path.
+func (e *Event) kernelRemove() {
+	h := e.owner
+	if h != nil && e.index >= 0 {
+		heap.Remove(&h.queue, e.index)
+		e.index = -1
+		e.fn = nil
+	}
+}
+
+// Kernel is a single-threaded discrete-event executor. It is not safe for
+// concurrent use: all scheduling must happen from the driving goroutine or
+// from within event callbacks (which the kernel runs serially).
+type Kernel struct {
+	now    time.Time
+	queue  eventQueue
+	nextID uint64
+	seed   int64
+	fired  uint64
+	// maxEvents guards against runaway event loops in tests; 0 = unlimited.
+	maxEvents uint64
+}
+
+// New returns a kernel with its clock at Epoch, deriving all randomness from
+// seed.
+func New(seed int64) *Kernel {
+	return &Kernel{now: Epoch, seed: seed}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() time.Time { return k.now }
+
+// Seed returns the seed the kernel was created with.
+func (k *Kernel) Seed() int64 { return k.seed }
+
+// Fired returns the number of events executed so far.
+func (k *Kernel) Fired() uint64 { return k.fired }
+
+// Pending returns the number of events waiting in the queue.
+func (k *Kernel) Pending() int { return k.queue.Len() }
+
+// SetEventLimit bounds the total number of events Run will execute; 0 means
+// unlimited. Exceeding the limit makes Run return ErrEventLimit.
+func (k *Kernel) SetEventLimit(n uint64) { k.maxEvents = n }
+
+// ErrEventLimit is returned by the run methods when the configured event
+// limit is exceeded, which almost always indicates a protocol timer loop
+// that fails to terminate.
+var ErrEventLimit = errors.New("sim: event limit exceeded")
+
+// At schedules fn to run at virtual time t. Times in the past (before Now)
+// are clamped to Now, preserving causal ordering.
+func (k *Kernel) At(t time.Time, fn func()) *Event {
+	if fn == nil {
+		panic("sim: At called with nil callback") // programmer error, not runtime condition
+	}
+	if t.Before(k.now) {
+		t = k.now
+	}
+	e := &Event{at: t, seq: k.nextID, fn: fn, owner: k}
+	k.nextID++
+	heap.Push(&k.queue, e)
+	return e
+}
+
+// After schedules fn to run d from now. Negative d is treated as zero.
+func (k *Kernel) After(d time.Duration, fn func()) *Event {
+	return k.At(k.now.Add(d), fn)
+}
+
+// Step fires the earliest pending event, advancing the clock to its time.
+// It returns false if the queue is empty.
+func (k *Kernel) Step() bool {
+	if k.queue.Len() == 0 {
+		return false
+	}
+	e := heap.Pop(&k.queue).(*Event)
+	k.now = e.at
+	fn := e.fn
+	e.fn = nil
+	e.index = -1
+	k.fired++
+	fn()
+	return true
+}
+
+// Run executes events until the queue is empty.
+func (k *Kernel) Run() error {
+	for k.Step() {
+		if k.maxEvents > 0 && k.fired > k.maxEvents {
+			return fmt.Errorf("%w: %d events", ErrEventLimit, k.fired)
+		}
+	}
+	return nil
+}
+
+// RunUntil executes events with time <= deadline, then advances the clock to
+// the deadline. Events scheduled after the deadline remain queued.
+func (k *Kernel) RunUntil(deadline time.Time) error {
+	for k.queue.Len() > 0 && !k.queue[0].at.After(deadline) {
+		k.Step()
+		if k.maxEvents > 0 && k.fired > k.maxEvents {
+			return fmt.Errorf("%w: %d events", ErrEventLimit, k.fired)
+		}
+	}
+	if k.now.Before(deadline) {
+		k.now = deadline
+	}
+	return nil
+}
+
+// RunFor executes events for virtual duration d from the current time.
+func (k *Kernel) RunFor(d time.Duration) error {
+	return k.RunUntil(k.now.Add(d))
+}
+
+// Rand returns an independent deterministic random stream derived from the
+// kernel seed and the given name. Equal names yield identical streams;
+// distinct names yield decorrelated streams. Components should each own a
+// named stream so that adding a component does not perturb others' draws.
+func (k *Kernel) Rand(name string) *rand.Rand {
+	return rand.New(rand.NewSource(DeriveSeed(k.seed, name)))
+}
+
+// DeriveSeed mixes a base seed with a component name into a new seed using
+// an FNV-1a / splitmix64 construction. It is exported for components that
+// need raw seeds rather than *rand.Rand streams.
+func DeriveSeed(seed int64, name string) int64 {
+	h := uint64(1469598103934665603) // FNV offset basis
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211 // FNV prime
+	}
+	h ^= uint64(seed)
+	// splitmix64 finalizer for avalanche.
+	h += 0x9E3779B97F4A7C15
+	h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9
+	h = (h ^ (h >> 27)) * 0x94D049BB133111EB
+	h ^= h >> 31
+	return int64(h)
+}
+
+// eventQueue implements heap.Interface ordered by (time, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}

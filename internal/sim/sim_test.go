@@ -1,0 +1,330 @@
+package sim
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestKernelStartsAtEpoch(t *testing.T) {
+	k := New(1)
+	if !k.Now().Equal(Epoch) {
+		t.Errorf("Now() = %v, want %v", k.Now(), Epoch)
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	k := New(1)
+	var order []int
+	k.After(30*time.Millisecond, func() { order = append(order, 3) })
+	k.After(10*time.Millisecond, func() { order = append(order, 1) })
+	k.After(20*time.Millisecond, func() { order = append(order, 2) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i+1 {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	k := New(1)
+	var order []int
+	at := k.Now().Add(5 * time.Millisecond)
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(at, func() { order = append(order, i) })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !sort.IntsAreSorted(order) {
+		t.Errorf("same-instant events fired out of scheduling order: %v", order)
+	}
+}
+
+func TestClockAdvancesToEventTime(t *testing.T) {
+	k := New(1)
+	var at time.Time
+	k.After(42*time.Millisecond, func() { at = k.Now() })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := Epoch.Add(42 * time.Millisecond); !at.Equal(want) {
+		t.Errorf("callback saw Now() = %v, want %v", at, want)
+	}
+}
+
+func TestPastEventsClampToNow(t *testing.T) {
+	k := New(1)
+	k.After(10*time.Millisecond, func() {
+		k.At(Epoch, func() {
+			if k.Now().Before(Epoch.Add(10 * time.Millisecond)) {
+				t.Error("clock moved backwards")
+			}
+		})
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	k := New(1)
+	fired := false
+	e := k.After(time.Millisecond, func() { fired = true })
+	if !e.Cancel() {
+		t.Error("first Cancel returned false")
+	}
+	if e.Cancel() {
+		t.Error("second Cancel returned true; want idempotent false")
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Error("canceled event fired")
+	}
+}
+
+func TestCancelAfterFire(t *testing.T) {
+	k := New(1)
+	e := k.After(time.Millisecond, func() {})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Cancel() {
+		t.Error("Cancel after fire returned true")
+	}
+}
+
+func TestCancelNil(t *testing.T) {
+	var e *Event
+	if e.Cancel() {
+		t.Error("nil Cancel returned true")
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	k := New(1)
+	var fired []int
+	events := make([]*Event, 20)
+	for i := range events {
+		i := i
+		events[i] = k.After(time.Duration(i)*time.Millisecond, func() { fired = append(fired, i) })
+	}
+	for i := 5; i < 15; i++ {
+		events[i].Cancel()
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 10 {
+		t.Fatalf("fired %d events, want 10: %v", len(fired), fired)
+	}
+	if !sort.IntsAreSorted(fired) {
+		t.Errorf("fired out of order after cancels: %v", fired)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	k := New(1)
+	var fired []int
+	k.After(10*time.Millisecond, func() { fired = append(fired, 1) })
+	k.After(30*time.Millisecond, func() { fired = append(fired, 2) })
+	deadline := Epoch.Add(20 * time.Millisecond)
+	if err := k.RunUntil(deadline); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 1 {
+		t.Errorf("fired = %v, want just the first event", fired)
+	}
+	if !k.Now().Equal(deadline) {
+		t.Errorf("Now() = %v, want clock advanced to deadline %v", k.Now(), deadline)
+	}
+	if k.Pending() != 1 {
+		t.Errorf("Pending() = %d, want 1", k.Pending())
+	}
+}
+
+func TestRunFor(t *testing.T) {
+	k := New(1)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		k.After(time.Second, tick)
+	}
+	k.After(time.Second, tick)
+	if err := k.RunFor(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Errorf("ticked %d times in 10s, want 10", n)
+	}
+}
+
+func TestEventLimit(t *testing.T) {
+	k := New(1)
+	k.SetEventLimit(100)
+	var loop func()
+	loop = func() { k.After(time.Microsecond, loop) }
+	k.After(0, loop)
+	if err := k.Run(); !errors.Is(err, ErrEventLimit) {
+		t.Errorf("err = %v, want ErrEventLimit", err)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func(seed int64) []int64 {
+		k := New(seed)
+		rng := k.Rand("workload")
+		var draws []int64
+		var tick func()
+		tick = func() {
+			draws = append(draws, rng.Int63())
+			if len(draws) < 50 {
+				k.After(time.Duration(rng.Intn(1000))*time.Microsecond, tick)
+			}
+		}
+		k.After(0, tick)
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return draws
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at draw %d", i)
+		}
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical draws")
+	}
+}
+
+func TestRandStreamsIndependent(t *testing.T) {
+	k := New(3)
+	a := k.Rand("alpha")
+	b := k.Rand("beta")
+	a2 := k.Rand("alpha")
+	if a.Int63() != a2.Int63() {
+		t.Error("equal stream names must yield identical streams")
+	}
+	equal := 0
+	for i := 0; i < 20; i++ {
+		if a.Int63() == b.Int63() {
+			equal++
+		}
+	}
+	if equal > 2 {
+		t.Errorf("streams alpha and beta look correlated: %d equal draws", equal)
+	}
+}
+
+func TestDeriveSeedDistinct(t *testing.T) {
+	seen := map[int64]string{}
+	names := []string{"", "a", "b", "ab", "ba", "node-1", "node-2", "loss", "cpu"}
+	for _, n := range names {
+		s := DeriveSeed(42, n)
+		if prev, ok := seen[s]; ok {
+			t.Errorf("DeriveSeed collision between %q and %q", prev, n)
+		}
+		seen[s] = n
+	}
+	if DeriveSeed(1, "x") == DeriveSeed(2, "x") {
+		t.Error("same name with different seeds must differ")
+	}
+}
+
+// Property: any batch of events with arbitrary delays fires in nondecreasing
+// time order, and the clock never moves backwards.
+func TestHeapOrderingProperty(t *testing.T) {
+	f := func(delaysRaw []uint32) bool {
+		if len(delaysRaw) > 200 {
+			delaysRaw = delaysRaw[:200]
+		}
+		k := New(11)
+		var times []time.Time
+		for _, d := range delaysRaw {
+			k.After(time.Duration(d%1_000_000)*time.Microsecond, func() {
+				times = append(times, k.Now())
+			})
+		}
+		if err := k.Run(); err != nil {
+			return false
+		}
+		for i := 1; i < len(times); i++ {
+			if times[i].Before(times[i-1]) {
+				return false
+			}
+		}
+		return len(times) == len(delaysRaw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: random interleaving of schedules and cancels never corrupts the
+// heap: every non-canceled event fires exactly once, in order.
+func TestScheduleCancelProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := New(seed)
+		fired := map[int]int{}
+		var events []*Event
+		canceled := map[int]bool{}
+		n := 100
+		for i := 0; i < n; i++ {
+			i := i
+			events = append(events, k.After(time.Duration(rng.Intn(5000))*time.Microsecond,
+				func() { fired[i]++ }))
+			if rng.Intn(3) == 0 && len(events) > 0 {
+				victim := rng.Intn(len(events))
+				if events[victim].Cancel() {
+					canceled[victim] = true
+				}
+			}
+		}
+		if err := k.Run(); err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			want := 1
+			if canceled[i] {
+				want = 0
+			}
+			if fired[i] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkScheduleAndFire(b *testing.B) {
+	k := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k.After(time.Microsecond, func() {})
+		k.Step()
+	}
+}

@@ -1,0 +1,162 @@
+package bemcast_test
+
+import (
+	"testing"
+	"time"
+
+	"adamant/internal/env"
+	"adamant/internal/sim"
+	"adamant/internal/transport"
+	"adamant/internal/transport/bemcast"
+	"adamant/internal/transport/transporttest"
+	"adamant/internal/wire"
+)
+
+func setup(t *testing.T, n int) (*sim.Kernel, *transporttest.Fabric, *bemcast.Sender,
+	[]*bemcast.Receiver, [][]transport.Delivery) {
+	t.Helper()
+	k := sim.New(1)
+	e := env.NewSim(k)
+	fab := transporttest.New(e, time.Millisecond)
+	s, err := bemcast.NewSender(transport.Config{Env: e, Endpoint: fab.Endpoint(0), Stream: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recvs := make([]*bemcast.Receiver, n)
+	deliveries := make([][]transport.Delivery, n)
+	for i := 0; i < n; i++ {
+		i := i
+		recvs[i], err = bemcast.NewReceiver(transport.Config{
+			Env: e, Endpoint: fab.Endpoint(wire.NodeID(i + 1)), Stream: 1,
+			Deliver: func(d transport.Delivery) { deliveries[i] = append(deliveries[i], d) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return k, fab, s, recvs, deliveries
+}
+
+func TestDeliversToAll(t *testing.T) {
+	k, _, s, _, deliveries := setup(t, 3)
+	for i := 0; i < 10; i++ {
+		if err := s.Publish([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, ds := range deliveries {
+		if len(ds) != 10 {
+			t.Errorf("receiver %d got %d, want 10", i, len(ds))
+		}
+	}
+	if s.Seq() != 10 {
+		t.Errorf("Seq = %d", s.Seq())
+	}
+}
+
+func TestNoRecovery(t *testing.T) {
+	k, fab, s, recvs, deliveries := setup(t, 1)
+	fab.Drop = func(from, to wire.NodeID, pkt *wire.Packet) bool { return pkt.Seq == 3 }
+	for i := 0; i < 5; i++ {
+		if err := s.Publish(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := k.RunFor(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if len(deliveries[0]) != 4 {
+		t.Errorf("delivered %d, want 4 (no recovery)", len(deliveries[0]))
+	}
+	if st := recvs[0].Stats(); st.Recovered != 0 || st.NaksSent != 0 || st.RepairsSent != 0 {
+		t.Errorf("best-effort receiver has recovery stats: %+v", st)
+	}
+}
+
+func TestDuplicateAndStreamFiltering(t *testing.T) {
+	k, fab, s, recvs, deliveries := setup(t, 1)
+	if err := s.Publish([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	dup := &wire.Packet{Type: wire.TypeData, Src: 0, Stream: 1, Seq: 1, SentAt: k.Now()}
+	if err := fab.Endpoint(0).Multicast(dup); err != nil {
+		t.Fatal(err)
+	}
+	foreign := &wire.Packet{Type: wire.TypeData, Src: 0, Stream: 2, Seq: 1, SentAt: k.Now()}
+	if err := fab.Endpoint(0).Multicast(foreign); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(deliveries[0]) != 1 {
+		t.Errorf("delivered %d, want 1", len(deliveries[0]))
+	}
+	if st := recvs[0].Stats(); st.Duplicates != 1 {
+		t.Errorf("Duplicates = %d, want 1", st.Duplicates)
+	}
+}
+
+func TestWindowEviction(t *testing.T) {
+	k, fab, s, recvs, deliveries := setup(t, 1)
+	for i := 0; i < bemcast.DefaultWindow+100; i++ {
+		if err := s.Publish(nil); err != nil {
+			t.Fatal(err)
+		}
+		if i%500 == 0 {
+			if err := k.RunFor(time.Second); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := bemcast.DefaultWindow + 100
+	if len(deliveries[0]) != want {
+		t.Fatalf("delivered %d, want %d", len(deliveries[0]), want)
+	}
+	// A packet far below the window must be rejected.
+	stale := &wire.Packet{Type: wire.TypeData, Src: 0, Stream: 1, Seq: 1, SentAt: k.Now()}
+	if err := fab.Endpoint(0).Multicast(stale); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(deliveries[0]) != want {
+		t.Error("stale replay was delivered")
+	}
+	if st := recvs[0].Stats(); st.OutOfWindow == 0 {
+		t.Error("OutOfWindow not counted")
+	}
+}
+
+func TestCloseSemantics(t *testing.T) {
+	_, _, s, recvs, _ := setup(t, 1)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Publish(nil); err == nil {
+		t.Error("Publish after Close should error")
+	}
+	if err := recvs[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFactoryAndSpec(t *testing.T) {
+	if bemcast.Spec().String() != "bemcast" {
+		t.Errorf("Spec = %q", bemcast.Spec().String())
+	}
+	f := bemcast.Factory()
+	if f.Name != bemcast.Name || !f.Props.Has(transport.PropMulticast) {
+		t.Error("factory metadata wrong")
+	}
+	if _, err := f.NewSender(transport.Config{}, nil); err == nil {
+		t.Error("invalid config should fail")
+	}
+}

@@ -1,0 +1,209 @@
+// Package conformance is a reusable behavioral test suite that every ANT
+// transport protocol must pass: delivery completeness, duplicate
+// suppression, payload and timestamp integrity, close semantics, recovery
+// obligations by advertised property, and deterministic replay. New
+// protocol implementations get the whole battery by adding one line to the
+// spec list in the package tests.
+package conformance
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"testing"
+	"time"
+
+	"adamant/internal/env"
+	"adamant/internal/netem"
+	"adamant/internal/sim"
+	"adamant/internal/transport"
+	"adamant/internal/transport/protocols"
+	"adamant/internal/wire"
+)
+
+// Scenario parameterizes one conformance run.
+type Scenario struct {
+	Spec      transport.Spec
+	Receivers int
+	Samples   int
+	RateHz    float64
+	LossPct   float64
+	Seed      int64
+}
+
+func (sc *Scenario) fillDefaults() {
+	if sc.Receivers == 0 {
+		sc.Receivers = 3
+	}
+	if sc.Samples == 0 {
+		sc.Samples = 300
+	}
+	if sc.RateHz == 0 {
+		sc.RateHz = 100
+	}
+	if sc.Seed == 0 {
+		sc.Seed = 1
+	}
+}
+
+// Outcome captures everything a conformance check needs to assert on.
+type Outcome struct {
+	// Deliveries[i] is receiver i's delivery log in delivery order.
+	Deliveries [][]transport.Delivery
+	// Stats[i] is receiver i's protocol counters.
+	Stats []transport.ReceiverStats
+}
+
+// payloadFor derives the deterministic payload for a sequence number so
+// integrity can be checked at the receiver without shared state.
+func payloadFor(seq uint64) []byte {
+	var b [12]byte
+	binary.BigEndian.PutUint64(b[:8], seq*2654435761)
+	binary.BigEndian.PutUint32(b[8:], uint32(seq))
+	return b[:]
+}
+
+// Execute runs the scenario on the deterministic simulator and returns the
+// outcome.
+func Execute(sc Scenario) (Outcome, error) {
+	sc.fillDefaults()
+	kernel := sim.New(sc.Seed)
+	kernel.SetEventLimit(uint64(sc.Samples)*uint64(sc.Receivers)*500 + 1_000_000)
+	e := env.NewSim(kernel)
+	network, err := netem.New(e, netem.Config{})
+	if err != nil {
+		return Outcome{}, err
+	}
+	reg := protocols.MustRegistry()
+
+	senderNode := network.AddNode(netem.PC3000)
+	readerNodes := make([]*netem.Node, sc.Receivers)
+	ids := make([]wire.NodeID, sc.Receivers)
+	for i := range readerNodes {
+		readerNodes[i] = network.AddNode(netem.PC3000)
+		readerNodes[i].SetLoss(sc.LossPct)
+		ids[i] = readerNodes[i].Local()
+	}
+	receivers := transport.StaticReceivers(ids...)
+
+	out := Outcome{
+		Deliveries: make([][]transport.Delivery, sc.Receivers),
+		Stats:      make([]transport.ReceiverStats, sc.Receivers),
+	}
+	instances := make([]transport.Receiver, sc.Receivers)
+	for i := range readerNodes {
+		i := i
+		r, err := reg.NewReceiver(sc.Spec, transport.Config{
+			Env: e, Endpoint: readerNodes[i], Stream: 1,
+			SenderID: senderNode.Local(), Receivers: receivers,
+			Deliver: func(d transport.Delivery) {
+				d.Payload = append([]byte(nil), d.Payload...)
+				out.Deliveries[i] = append(out.Deliveries[i], d)
+			},
+		})
+		if err != nil {
+			return Outcome{}, fmt.Errorf("receiver %d: %w", i, err)
+		}
+		instances[i] = r
+	}
+	sender, err := reg.NewSender(sc.Spec, transport.Config{
+		Env: e, Endpoint: senderNode, Stream: 1, Receivers: receivers,
+	})
+	if err != nil {
+		return Outcome{}, fmt.Errorf("sender: %w", err)
+	}
+
+	period := time.Duration(float64(time.Second) / sc.RateHz)
+	published := 0
+	var pubErr error
+	var tick func()
+	tick = func() {
+		if published >= sc.Samples {
+			pubErr = sender.Close()
+			return
+		}
+		published++
+		if err := sender.Publish(payloadFor(uint64(published))); err != nil {
+			pubErr = err
+			return
+		}
+		e.After(period, tick)
+	}
+	e.Post(tick)
+	if err := kernel.Run(); err != nil {
+		return Outcome{}, err
+	}
+	if pubErr != nil {
+		return Outcome{}, pubErr
+	}
+	for i, r := range instances {
+		out.Stats[i] = r.Stats()
+	}
+	return out, nil
+}
+
+// Check runs the full battery for one scenario. minReliabilityPct is the
+// floor the protocol must hit at the scenario's loss rate (100 for
+// recovery protocols in lossless runs, lower for best-effort).
+func Check(t *testing.T, sc Scenario, minReliabilityPct float64) {
+	t.Helper()
+	out, err := Execute(sc)
+	if err != nil {
+		t.Fatalf("%s: %v", sc.Spec, err)
+	}
+	sc.fillDefaults()
+	for i, ds := range out.Deliveries {
+		rel := 100 * float64(len(ds)) / float64(sc.Samples)
+		if rel < minReliabilityPct {
+			t.Errorf("%s receiver %d: reliability %.2f%%, want >= %.2f%%",
+				sc.Spec, i, rel, minReliabilityPct)
+		}
+		if len(ds) > sc.Samples {
+			t.Errorf("%s receiver %d: %d deliveries for %d samples (duplicates leaked)",
+				sc.Spec, i, len(ds), sc.Samples)
+		}
+		seen := make(map[uint64]bool, len(ds))
+		for _, d := range ds {
+			if seen[d.Seq] {
+				t.Errorf("%s receiver %d: seq %d delivered twice", sc.Spec, i, d.Seq)
+				break
+			}
+			seen[d.Seq] = true
+			if !bytes.Equal(d.Payload, payloadFor(d.Seq)) {
+				t.Errorf("%s receiver %d: seq %d payload corrupted", sc.Spec, i, d.Seq)
+				break
+			}
+			if lat := d.Latency(); lat <= 0 || lat > time.Minute {
+				t.Errorf("%s receiver %d: seq %d latency %v implausible (SentAt not preserved?)",
+					sc.Spec, i, d.Seq, lat)
+				break
+			}
+		}
+	}
+}
+
+// CheckDeterministic verifies that the same seed reproduces the identical
+// delivery log and a different seed does not (for lossy runs).
+func CheckDeterministic(t *testing.T, sc Scenario) {
+	t.Helper()
+	a, err := Execute(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Execute(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Deliveries {
+		if len(a.Deliveries[i]) != len(b.Deliveries[i]) {
+			t.Fatalf("%s: replay diverged at receiver %d (%d vs %d deliveries)",
+				sc.Spec, i, len(a.Deliveries[i]), len(b.Deliveries[i]))
+		}
+		for j := range a.Deliveries[i] {
+			da, db := a.Deliveries[i][j], b.Deliveries[i][j]
+			if da.Seq != db.Seq || !da.DeliveredAt.Equal(db.DeliveredAt) {
+				t.Fatalf("%s: replay diverged at receiver %d delivery %d", sc.Spec, i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package conformance
+
+import (
+	"testing"
+
+	"adamant/internal/transport"
+)
+
+// The protocol matrix: every registered protocol with its reliability
+// obligations. Best-effort multicast must deliver what the network gives it
+// (~95% at 5% loss); the recovery protocols owe (nearly) everything.
+var matrix = []struct {
+	name          string
+	spec          transport.Spec
+	minLossless   float64 // reliability floor with no loss
+	minAt5PctLoss float64 // reliability floor at 5% end-host loss
+	maxAt5PctLoss float64 // ceiling, to catch accidental duplication
+}{
+	{
+		name:          "bemcast",
+		spec:          transport.Spec{Name: "bemcast"},
+		minLossless:   100,
+		minAt5PctLoss: 90,
+		maxAt5PctLoss: 98, // must NOT recover: it is the no-recovery baseline
+	},
+	{
+		name:          "nakcast-1ms",
+		spec:          transport.Spec{Name: "nakcast", Params: transport.Params{"timeout": "1ms"}},
+		minLossless:   100,
+		minAt5PctLoss: 99.9,
+		maxAt5PctLoss: 100,
+	},
+	{
+		name:          "nakcast-25ms",
+		spec:          transport.Spec{Name: "nakcast", Params: transport.Params{"timeout": "25ms"}},
+		minLossless:   100,
+		minAt5PctLoss: 99.9,
+		maxAt5PctLoss: 100,
+	},
+	{
+		name:          "nakcast-unordered",
+		spec:          transport.Spec{Name: "nakcast", Params: transport.Params{"timeout": "1ms", "unordered": "1"}},
+		minLossless:   100,
+		minAt5PctLoss: 99.9,
+		maxAt5PctLoss: 100,
+	},
+	{
+		name:          "ricochet-r4c3",
+		spec:          transport.Spec{Name: "ricochet", Params: transport.Params{"r": "4", "c": "3"}},
+		minLossless:   100,
+		minAt5PctLoss: 98.5,
+		maxAt5PctLoss: 100,
+	},
+	{
+		name:          "ricochet-r8c3",
+		spec:          transport.Spec{Name: "ricochet", Params: transport.Params{"r": "8", "c": "3"}},
+		minLossless:   100,
+		minAt5PctLoss: 97.5,
+		maxAt5PctLoss: 100,
+	},
+	{
+		name:          "ackcast",
+		spec:          transport.Spec{Name: "ackcast", Params: transport.Params{"window": "64", "rto": "20ms"}},
+		minLossless:   100,
+		minAt5PctLoss: 99.9,
+		maxAt5PctLoss: 100,
+	},
+}
+
+func TestLossless(t *testing.T) {
+	for _, m := range matrix {
+		m := m
+		t.Run(m.name, func(t *testing.T) {
+			Check(t, Scenario{Spec: m.spec, Seed: 7}, m.minLossless)
+		})
+	}
+}
+
+func TestFivePercentLoss(t *testing.T) {
+	for _, m := range matrix {
+		m := m
+		t.Run(m.name, func(t *testing.T) {
+			sc := Scenario{Spec: m.spec, LossPct: 5, Samples: 600, Seed: 11}
+			Check(t, sc, m.minAt5PctLoss)
+			out, err := Execute(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, ds := range out.Deliveries {
+				rel := 100 * float64(len(ds)) / 600
+				if rel > m.maxAt5PctLoss {
+					t.Errorf("receiver %d reliability %.2f%% above ceiling %.2f%%",
+						i, rel, m.maxAt5PctLoss)
+				}
+			}
+		})
+	}
+}
+
+func TestSingleReceiver(t *testing.T) {
+	// Degenerate group: no peers for lateral repair, no ACK aggregation.
+	for _, m := range matrix {
+		m := m
+		t.Run(m.name, func(t *testing.T) {
+			min := m.minAt5PctLoss
+			if m.spec.Name == "ricochet" {
+				min = 90 // no peers -> no recovery at all
+			}
+			Check(t, Scenario{Spec: m.spec, Receivers: 1, LossPct: 5, Samples: 400, Seed: 13}, min)
+		})
+	}
+}
+
+func TestHighRate(t *testing.T) {
+	// 1 kHz pushes the CPU/queueing model; nothing may be duplicated or
+	// corrupted.
+	for _, m := range matrix {
+		m := m
+		t.Run(m.name, func(t *testing.T) {
+			Check(t, Scenario{Spec: m.spec, RateHz: 1000, Samples: 500, LossPct: 2, Seed: 17},
+				minFor(m.name))
+		})
+	}
+}
+
+func minFor(name string) float64 {
+	switch name {
+	case "bemcast":
+		return 90
+	case "ricochet-r8c3", "ricochet-r4c3":
+		return 97
+	default:
+		return 99.5
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	for _, m := range matrix {
+		m := m
+		t.Run(m.name, func(t *testing.T) {
+			CheckDeterministic(t, Scenario{Spec: m.spec, LossPct: 5, Samples: 200, Seed: 19})
+		})
+	}
+}

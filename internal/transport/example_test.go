@@ -1,0 +1,40 @@
+package transport_test
+
+import (
+	"fmt"
+
+	"adamant/internal/transport"
+)
+
+func ExampleParseSpec() {
+	spec, err := transport.ParseSpec("ricochet(r=4,c=3)")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(spec.Name)
+	fmt.Println(spec.String()) // canonical form sorts parameters
+	// Output:
+	// ricochet
+	// ricochet(c=3,r=4)
+}
+
+func ExampleSpec_String() {
+	spec := transport.Spec{
+		Name:   "nakcast",
+		Params: transport.Params{"timeout": "1ms"},
+	}
+	fmt.Println(spec)
+	// Output: nakcast(timeout=1ms)
+}
+
+func ExampleProperties_String() {
+	props := transport.PropMulticast | transport.PropFEC
+	fmt.Println(props)
+	fmt.Println(props.Has(transport.PropMulticast))
+	fmt.Println(props.Has(transport.PropOrdered))
+	// Output:
+	// multicast+fec
+	// true
+	// false
+}

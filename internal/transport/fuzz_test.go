@@ -1,0 +1,36 @@
+package transport_test
+
+import (
+	"testing"
+
+	"adamant/internal/transport"
+)
+
+// FuzzParseSpec asserts the spec parser is total and canonicalizing:
+// anything it accepts must round-trip through its canonical string.
+func FuzzParseSpec(f *testing.F) {
+	for _, seed := range []string{
+		"bemcast",
+		"nakcast(timeout=1ms)",
+		"ricochet(c=3,r=4)",
+		"x(a=1,b=2,c=3)",
+		"(",
+		"a(b=)",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		spec, err := transport.ParseSpec(in)
+		if err != nil {
+			return
+		}
+		canon := spec.String()
+		again, err := transport.ParseSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q failed to re-parse: %v", canon, err)
+		}
+		if again.String() != canon {
+			t.Fatalf("canonical form unstable: %q -> %q", canon, again.String())
+		}
+	})
+}

@@ -1,0 +1,98 @@
+package protocols_test
+
+import (
+	"testing"
+	"time"
+
+	"adamant/internal/env"
+	"adamant/internal/sim"
+	"adamant/internal/transport"
+	"adamant/internal/transport/protocols"
+	"adamant/internal/transport/transporttest"
+	"adamant/internal/wire"
+)
+
+func TestNewRegistryHasAllProtocols(t *testing.T) {
+	reg, err := protocols.NewRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"ackcast", "bemcast", "nakcast", "ricochet"}
+	got := reg.Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMustRegistry(t *testing.T) {
+	if protocols.MustRegistry() == nil {
+		t.Fatal("MustRegistry returned nil")
+	}
+}
+
+// TestEveryProtocolEndToEnd runs each registered protocol through the same
+// lossless one-sender/two-receiver exchange via the registry path.
+func TestEveryProtocolEndToEnd(t *testing.T) {
+	specs := []string{
+		"bemcast",
+		"nakcast(timeout=1ms)",
+		"ricochet(r=4,c=2)",
+		"ackcast(window=16,rto=10ms)",
+	}
+	for _, specStr := range specs {
+		specStr := specStr
+		t.Run(specStr, func(t *testing.T) {
+			reg := protocols.MustRegistry()
+			spec, err := transport.ParseSpec(specStr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			k := sim.New(1)
+			e := env.NewSim(k)
+			fab := transporttest.New(e, time.Millisecond)
+			receivers := transport.StaticReceivers(1, 2)
+
+			s, err := reg.NewSender(spec, transport.Config{
+				Env: e, Endpoint: fab.Endpoint(0), Stream: 1, Receivers: receivers,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got [2][]transport.Delivery
+			for i := 0; i < 2; i++ {
+				i := i
+				if _, err := reg.NewReceiver(spec, transport.Config{
+					Env: e, Endpoint: fab.Endpoint(wire.NodeID(i + 1)), Stream: 1,
+					SenderID: 0, Receivers: receivers,
+					Deliver: func(d transport.Delivery) { got[i] = append(got[i], d) },
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for n := 0; n < 25; n++ {
+				if err := s.Publish([]byte{byte(n)}); err != nil {
+					t.Fatal(err)
+				}
+				if err := k.RunFor(2 * time.Millisecond); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := k.RunFor(10 * time.Second); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 2; i++ {
+				if len(got[i]) != 25 {
+					t.Errorf("receiver %d delivered %d, want 25", i, len(got[i]))
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,487 @@
+package ricochet_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"adamant/internal/env"
+	"adamant/internal/sim"
+	"adamant/internal/transport"
+	"adamant/internal/transport/ricochet"
+	"adamant/internal/transport/transporttest"
+	"adamant/internal/wire"
+)
+
+type harness struct {
+	k        *sim.Kernel
+	e        *env.SimEnv
+	fab      *transporttest.Fabric
+	sender   *ricochet.Sender
+	recvs    []*ricochet.Receiver
+	delivery [][]transport.Delivery
+}
+
+// classic returns options for fixed-R group semantics: no stagger, no
+// flush timer, negligible processing costs — the configuration the
+// protocol-mechanics tests are written against.
+func classic(o ricochet.Options) ricochet.Options {
+	o.Stagger = -1
+	o.Flush = -1
+	if o.ProcCost == 0 {
+		o.ProcCost = 1
+	}
+	if o.DecodeCost == 0 {
+		o.DecodeCost = 1
+	}
+	return o
+}
+
+// newHarness builds one sender (node 0) and n receivers (nodes 1..n) over a
+// 1ms-delay fabric.
+func newHarness(t *testing.T, n int, opts ricochet.Options) *harness {
+	t.Helper()
+	h := &harness{k: sim.New(1)}
+	h.e = env.NewSim(h.k)
+	h.fab = transporttest.New(h.e, time.Millisecond)
+	receiverIDs := make([]wire.NodeID, n)
+	for i := range receiverIDs {
+		receiverIDs[i] = wire.NodeID(i + 1)
+	}
+	var err error
+	h.sender, err = ricochet.NewSender(transport.Config{
+		Env: h.e, Endpoint: h.fab.Endpoint(0), Stream: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.delivery = make([][]transport.Delivery, n)
+	for i := 0; i < n; i++ {
+		i := i
+		r, err := ricochet.NewReceiver(transport.Config{
+			Env:       h.e,
+			Endpoint:  h.fab.Endpoint(wire.NodeID(i + 1)),
+			Stream:    1,
+			SenderID:  0,
+			Receivers: transport.StaticReceivers(receiverIDs...),
+			Deliver:   func(d transport.Delivery) { h.delivery[i] = append(h.delivery[i], d) },
+		}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.recvs = append(h.recvs, r)
+	}
+	return h
+}
+
+func (h *harness) publishN(t *testing.T, n int, gap time.Duration) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := h.sender.Publish([]byte(fmt.Sprintf("sample-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.k.RunFor(gap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.k.RunFor(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func find(ds []transport.Delivery, seq uint64) (transport.Delivery, bool) {
+	for _, d := range ds {
+		if d.Seq == seq {
+			return d, true
+		}
+	}
+	return transport.Delivery{}, false
+}
+
+func TestLosslessImmediateDelivery(t *testing.T) {
+	h := newHarness(t, 3, classic(ricochet.Options{R: 4, C: 2}))
+	h.publishN(t, 20, 5*time.Millisecond)
+	for i, ds := range h.delivery {
+		if len(ds) != 20 {
+			t.Fatalf("receiver %d delivered %d, want 20", i, len(ds))
+		}
+		for _, d := range ds {
+			if d.Recovered {
+				t.Errorf("receiver %d: seq %d marked recovered in lossless run", i, d.Seq)
+			}
+			if lat := d.Latency(); lat != time.Millisecond {
+				t.Errorf("latency %v, want exactly the fabric delay (immediate delivery)", lat)
+			}
+		}
+	}
+}
+
+func TestRepairsAreEmitted(t *testing.T) {
+	h := newHarness(t, 3, classic(ricochet.Options{R: 4, C: 2}))
+	h.publishN(t, 20, 5*time.Millisecond)
+	for i, r := range h.recvs {
+		st := r.Stats()
+		// 20 packets / R=4 = 5 repair rounds, each to 1..2 distinct peers
+		// (C=2 draws with replacement over 2 peers).
+		if st.RepairsSent < 5 || st.RepairsSent > 10 {
+			t.Errorf("receiver %d RepairsSent = %d, want 5..10", i, st.RepairsSent)
+		}
+		// Peers received everything directly, so repairs decode nothing.
+		if st.RepairsUsed != 0 {
+			t.Errorf("receiver %d RepairsUsed = %d, want 0", i, st.RepairsUsed)
+		}
+		if st.RepairsUseless == 0 {
+			t.Errorf("receiver %d saw no repairs at all", i)
+		}
+	}
+}
+
+func TestSingleLossRecoveredLaterally(t *testing.T) {
+	h := newHarness(t, 3, classic(ricochet.Options{R: 4, C: 2}))
+	h.fab.Drop = func(from, to wire.NodeID, pkt *wire.Packet) bool {
+		return pkt.Type == wire.TypeData && pkt.Seq == 2 && to == 1
+	}
+	h.publishN(t, 12, 5*time.Millisecond)
+	ds := h.delivery[0]
+	if len(ds) != 12 {
+		t.Fatalf("delivered %d, want 12 (seq 2 must be repaired)", len(ds))
+	}
+	d, ok := find(ds, 2)
+	if !ok {
+		t.Fatal("seq 2 never delivered")
+	}
+	if !d.Recovered {
+		t.Error("seq 2 not marked recovered")
+	}
+	if string(d.Payload) != "sample-01" {
+		t.Errorf("recovered payload = %q, want %q", d.Payload, "sample-01")
+	}
+	// Latency reflects the original send time, so it includes the wait for
+	// the covering repair (packets 1-4 at 5ms spacing, repair after seq 4).
+	if lat := d.Latency(); lat < 10*time.Millisecond {
+		t.Errorf("recovered latency %v, want >= ~10ms (repair wait)", lat)
+	}
+	if st := h.recvs[0].Stats(); st.RepairsUsed != 1 {
+		t.Errorf("RepairsUsed = %d, want 1", st.RepairsUsed)
+	}
+	// Undamaged receivers deliver everything directly.
+	for i := 1; i < 3; i++ {
+		if len(h.delivery[i]) != 12 {
+			t.Errorf("receiver %d delivered %d, want 12", i, len(h.delivery[i]))
+		}
+	}
+}
+
+func TestNoHeadOfLineBlocking(t *testing.T) {
+	h := newHarness(t, 3, classic(ricochet.Options{R: 4, C: 2}))
+	h.fab.Drop = func(from, to wire.NodeID, pkt *wire.Packet) bool {
+		return pkt.Type == wire.TypeData && pkt.Seq == 2 && to == 1
+	}
+	h.publishN(t, 8, 5*time.Millisecond)
+	ds := h.delivery[0]
+	d3, ok := find(ds, 3)
+	if !ok {
+		t.Fatal("seq 3 missing")
+	}
+	if lat := d3.Latency(); lat != time.Millisecond {
+		t.Errorf("seq 3 latency %v; Ricochet must not head-of-line block", lat)
+	}
+	// Delivery order is arrival order: 3 comes before the recovered 2.
+	pos := map[uint64]int{}
+	for i, d := range ds {
+		pos[d.Seq] = i
+	}
+	if pos[3] > pos[2] {
+		t.Error("seq 3 delivered after recovered seq 2; expected immediate delivery")
+	}
+}
+
+func TestTwoLossesInOneGroupUnrecoverable(t *testing.T) {
+	h := newHarness(t, 3, classic(ricochet.Options{R: 4, C: 2}))
+	h.fab.Drop = func(from, to wire.NodeID, pkt *wire.Packet) bool {
+		return pkt.Type == wire.TypeData && to == 1 && (pkt.Seq == 2 || pkt.Seq == 3)
+	}
+	h.publishN(t, 8, 5*time.Millisecond)
+	ds := h.delivery[0]
+	if _, ok := find(ds, 2); ok {
+		t.Error("seq 2 recovered despite double loss in its XOR group")
+	}
+	if _, ok := find(ds, 3); ok {
+		t.Error("seq 3 recovered despite double loss in its XOR group")
+	}
+	if len(ds) != 6 {
+		t.Errorf("delivered %d, want 6 (residual loss is expected)", len(ds))
+	}
+}
+
+func TestPendingRepairCascade(t *testing.T) {
+	// Receiver 1 misses seqs 4 and 5. A repair covering [5..8] first
+	// decodes 5, which must then unlock a buffered repair covering [2..5]
+	// wait... [1..4] style alignment gives us 4: we inject repairs by hand
+	// to exercise the cascade deterministically.
+	h := newHarness(t, 2, classic(ricochet.Options{R: 4, C: 1}))
+	h.fab.Drop = func(from, to wire.NodeID, pkt *wire.Packet) bool {
+		if to != 1 {
+			return false
+		}
+		// Receiver 1 (index 0) loses 4 and 5, and all organic repairs, so
+		// only our handcrafted ones count.
+		if pkt.Type == wire.TypeData && (pkt.Seq == 4 || pkt.Seq == 5) {
+			return true
+		}
+		return pkt.Type == wire.TypeRepair && pkt.Src != 0
+	}
+	h.publishN(t, 8, 5*time.Millisecond)
+	if len(h.delivery[0]) != 6 {
+		t.Fatalf("precondition: delivered %d, want 6", len(h.delivery[0]))
+	}
+
+	// Build repairs from the sender's actual packets: repairA covers 2-5
+	// (two missing -> stuck), repairB covers 5-8 (one missing -> decodes).
+	mkRepair := func(lo, hi uint64) *wire.Packet {
+		var rep wire.Repair
+		for s := lo; s <= hi; s++ {
+			rep.AddPacket(&wire.Packet{
+				Seq:     s,
+				SentAt:  sim.Epoch.Add(time.Duration(s) * time.Millisecond),
+				Payload: []byte(fmt.Sprintf("sample-%02d", s-1)),
+			})
+		}
+		body, err := rep.Encode(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &wire.Packet{Type: wire.TypeRepair, Src: 0, Stream: 1, Seq: hi,
+			SentAt: h.k.Now(), Payload: body}
+	}
+	// The receiver's window holds the *delivered* payloads (its own copies
+	// with real SentAt values); our handcrafted packets must XOR-match, so
+	// rebuild them from what the receiver actually has: payloads are
+	// deterministic and SentAt values come from the sender's publishes.
+	// Instead of reverse-engineering timestamps, drive the cascade with the
+	// receiver's own data: drop only repairs, then inject the sender-built
+	// repair sequence.
+	sentAts := make(map[uint64]time.Time)
+	for _, d := range h.delivery[0] {
+		sentAts[d.Seq] = d.SentAt
+	}
+	mk := func(lo, hi uint64) *wire.Packet {
+		var rep wire.Repair
+		for s := lo; s <= hi; s++ {
+			at, ok := sentAts[s]
+			if !ok {
+				// Missing at the receiver: reconstructed from the sibling
+				// publish cadence (publishes are 5ms apart starting at
+				// Epoch).
+				at = sim.Epoch.Add(time.Duration(s-1) * 5 * time.Millisecond)
+			}
+			rep.AddPacket(&wire.Packet{
+				Seq:     s,
+				SentAt:  at,
+				Payload: []byte(fmt.Sprintf("sample-%02d", s-1)),
+			})
+		}
+		body, err := rep.Encode(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &wire.Packet{Type: wire.TypeRepair, Src: 0, Stream: 1, Seq: hi,
+			SentAt: h.k.Now(), Payload: body}
+	}
+	_ = mkRepair
+	h.fab.Drop = nil
+	if err := h.fab.Endpoint(0).Unicast(1, mk(2, 5)); err != nil { // stuck: misses 4,5
+		t.Fatal(err)
+	}
+	if err := h.k.RunFor(10 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.delivery[0]) != 6 {
+		t.Fatalf("stuck repair should not decode yet; delivered %d", len(h.delivery[0]))
+	}
+	if err := h.fab.Endpoint(0).Unicast(1, mk(5, 8)); err != nil { // decodes 5, cascades to 4
+		t.Fatal(err)
+	}
+	if err := h.k.RunFor(10 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	ds := h.delivery[0]
+	if len(ds) != 8 {
+		t.Fatalf("cascade failed: delivered %d, want 8", len(ds))
+	}
+	d4, _ := find(ds, 4)
+	d5, _ := find(ds, 5)
+	if !d4.Recovered || !d5.Recovered {
+		t.Error("cascaded packets not marked recovered")
+	}
+	if string(d4.Payload) != "sample-03" || string(d5.Payload) != "sample-04" {
+		t.Errorf("cascade payloads wrong: %q, %q", d4.Payload, d5.Payload)
+	}
+}
+
+func TestDuplicateSuppression(t *testing.T) {
+	h := newHarness(t, 1, classic(ricochet.Options{R: 4, C: 1}))
+	for i := 0; i < 5; i++ {
+		if err := h.sender.Publish([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		dup := &wire.Packet{Type: wire.TypeData, Src: 0, Stream: 1,
+			Seq: h.sender.Seq(), SentAt: h.k.Now(), Payload: []byte("x")}
+		if err := h.fab.Endpoint(0).Multicast(dup); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.k.RunFor(5 * time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(h.delivery[0]); got != 5 {
+		t.Errorf("delivered %d, want 5", got)
+	}
+	if st := h.recvs[0].Stats(); st.Duplicates != 5 {
+		t.Errorf("Duplicates = %d, want 5", st.Duplicates)
+	}
+}
+
+func TestRepairTargetsRespectC(t *testing.T) {
+	// 6 receivers, C=2: each repair round sends at most 2 unicasts (C
+	// draws with replacement, deduplicated).
+	h := newHarness(t, 6, classic(ricochet.Options{R: 4, C: 2}))
+	h.publishN(t, 8, 5*time.Millisecond)
+	for i, r := range h.recvs {
+		if st := r.Stats(); st.RepairsSent < 2 || st.RepairsSent > 4 { // 2 rounds x 1..2
+			t.Errorf("receiver %d RepairsSent = %d, want 2..4", i, st.RepairsSent)
+		}
+	}
+}
+
+func TestSingleReceiverNoRepairs(t *testing.T) {
+	h := newHarness(t, 1, classic(ricochet.Options{R: 2, C: 3}))
+	h.publishN(t, 10, 2*time.Millisecond)
+	if st := h.recvs[0].Stats(); st.RepairsSent != 0 {
+		t.Errorf("RepairsSent = %d with no peers", st.RepairsSent)
+	}
+	if len(h.delivery[0]) != 10 {
+		t.Errorf("delivered %d, want 10", len(h.delivery[0]))
+	}
+}
+
+func TestWindowEviction(t *testing.T) {
+	h := newHarness(t, 2, classic(ricochet.Options{R: 4, C: 1, Window: 16}))
+	h.publishN(t, 100, time.Millisecond)
+	if len(h.delivery[0]) != 100 {
+		t.Fatalf("delivered %d, want 100", len(h.delivery[0]))
+	}
+	// Replay an ancient packet: must be rejected as out-of-window.
+	stale := &wire.Packet{Type: wire.TypeData, Src: 0, Stream: 1, Seq: 1,
+		SentAt: h.k.Now(), Payload: []byte("stale")}
+	if err := h.fab.Endpoint(0).Multicast(stale); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.k.RunFor(10 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.delivery[0]) != 100 {
+		t.Error("stale packet was re-delivered")
+	}
+	st := h.recvs[0].Stats()
+	if st.OutOfWindow == 0 && st.Duplicates == 0 {
+		t.Error("stale packet not counted")
+	}
+}
+
+func TestStreamFiltering(t *testing.T) {
+	h := newHarness(t, 1, classic(ricochet.Options{R: 4, C: 1}))
+	other := &wire.Packet{Type: wire.TypeData, Src: 0, Stream: 99, Seq: 1,
+		SentAt: h.k.Now(), Payload: []byte("other-stream")}
+	if err := h.fab.Endpoint(0).Multicast(other); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.k.RunFor(10 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.delivery[0]) != 0 {
+		t.Error("delivered a packet from a foreign stream")
+	}
+}
+
+func TestPublishAfterClose(t *testing.T) {
+	h := newHarness(t, 1, classic(ricochet.Options{}))
+	if err := h.sender.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.sender.Publish([]byte("x")); err == nil {
+		t.Error("Publish after Close should error")
+	}
+	if err := h.recvs[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpecAndParseOptions(t *testing.T) {
+	spec := ricochet.Spec(4, 3)
+	if spec.String() != "ricochet(c=3,r=4)" {
+		t.Errorf("Spec = %q", spec.String())
+	}
+	o, err := ricochet.ParseOptions(spec.Params)
+	if err != nil || o.R != 4 || o.C != 3 {
+		t.Errorf("ParseOptions: %+v, %v", o, err)
+	}
+	for _, bad := range []transport.Params{
+		{"r": "1"},                // r < 2
+		{"c": "0"},                // c < 1
+		{"r": "8", "window": "4"}, // window < r
+		{"r": "x"},                // unparsable
+		{"c": "y"},                // unparsable
+		{"window": "zz"},          // unparsable
+	} {
+		if _, err := ricochet.ParseOptions(bad); err == nil {
+			t.Errorf("ParseOptions(%v) should error", bad)
+		}
+	}
+}
+
+func TestFactoryBuildsInstances(t *testing.T) {
+	f := ricochet.Factory()
+	if f.Name != ricochet.Name || !f.Props.Has(transport.PropFEC) {
+		t.Errorf("factory metadata wrong: %q %v", f.Name, f.Props)
+	}
+	k := sim.New(1)
+	e := env.NewSim(k)
+	fab := transporttest.New(e, time.Millisecond)
+	s, err := f.NewSender(transport.Config{Env: e, Endpoint: fab.Endpoint(0), Stream: 1},
+		transport.Params{"r": "4", "c": "3"})
+	if err != nil || s == nil {
+		t.Fatalf("NewSender: %v", err)
+	}
+	if _, err := f.NewSender(transport.Config{Env: e, Endpoint: fab.Endpoint(0)},
+		transport.Params{"r": "bad"}); err == nil {
+		t.Error("bad params should fail")
+	}
+	r, err := f.NewReceiver(transport.Config{Env: e, Endpoint: fab.Endpoint(1), Stream: 1,
+		Receivers: transport.StaticReceivers(1), Deliver: func(transport.Delivery) {}},
+		transport.Params{})
+	if err != nil || r == nil {
+		t.Fatalf("NewReceiver: %v", err)
+	}
+}
+
+func TestHigherRLowersRepairTrafficButWeakensRecovery(t *testing.T) {
+	run := func(r int, dropEvery uint64) (recovered uint64, repairs uint64) {
+		h := newHarness(t, 3, classic(ricochet.Options{R: r, C: 2}))
+		h.fab.Drop = func(from, to wire.NodeID, pkt *wire.Packet) bool {
+			return pkt.Type == wire.TypeData && to == 1 && pkt.Seq%dropEvery == 0
+		}
+		h.publishN(t, 64, 2*time.Millisecond)
+		st := h.recvs[0].Stats()
+		return st.Recovered, h.recvs[1].Stats().RepairsSent
+	}
+	_, repairsR4 := run(4, 9)
+	_, repairsR8 := run(8, 9)
+	if repairsR8 >= repairsR4 {
+		t.Errorf("R=8 repairs (%d) should be fewer than R=4 (%d)", repairsR8, repairsR4)
+	}
+	recR4, _ := run(4, 9)
+	if recR4 == 0 {
+		t.Error("R=4 recovered nothing at 1/9 loss")
+	}
+}

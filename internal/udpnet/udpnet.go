@@ -1,0 +1,191 @@
+// Package udpnet implements the transport Endpoint over real UDP sockets,
+// so the same protocol state machines that run under the deterministic
+// simulator also run on a live network. Group "multicast" is realized as
+// unicast fan-out over a static address book — appropriate for the ad-hoc
+// datacenter deployments the paper targets, and portable to environments
+// (containers, clouds) where IP multicast is unavailable.
+package udpnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"adamant/internal/env"
+	"adamant/internal/transport"
+	"adamant/internal/wire"
+)
+
+// MTU is the maximum payload accepted for one packet (conservatively under
+// typical 1500-byte Ethernet MTU after headers).
+const MTU = 1400
+
+// Endpoint is a UDP-backed transport endpoint.
+type Endpoint struct {
+	env     env.Env
+	self    wire.NodeID
+	conn    *net.UDPConn
+	book    map[wire.NodeID]*net.UDPAddr
+	peerIDs []wire.NodeID
+
+	mu      sync.Mutex
+	handler func(src wire.NodeID, pkt *wire.Packet)
+	closed  bool
+	done    chan struct{}
+}
+
+var _ transport.Endpoint = (*Endpoint)(nil)
+
+// New binds a UDP socket at bindAddr (e.g. "127.0.0.1:0") for node self and
+// resolves the address book (node ID -> "host:port"). The endpoint posts
+// received packets into e, preserving the serial-callback contract.
+func New(e env.Env, self wire.NodeID, bindAddr string, book map[wire.NodeID]string) (*Endpoint, error) {
+	if e == nil {
+		return nil, errors.New("udpnet: nil env")
+	}
+	laddr, err := net.ResolveUDPAddr("udp", bindAddr)
+	if err != nil {
+		return nil, fmt.Errorf("udpnet: resolving bind address: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("udpnet: listen: %w", err)
+	}
+	ep := &Endpoint{
+		env:  e,
+		self: self,
+		conn: conn,
+		book: make(map[wire.NodeID]*net.UDPAddr, len(book)),
+		done: make(chan struct{}),
+	}
+	for id, addr := range book {
+		ua, err := net.ResolveUDPAddr("udp", addr)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("udpnet: resolving node %d address %q: %w", id, addr, err)
+		}
+		ep.book[id] = ua
+		if id != self {
+			ep.peerIDs = append(ep.peerIDs, id)
+		}
+	}
+	sort.Slice(ep.peerIDs, func(i, j int) bool { return ep.peerIDs[i] < ep.peerIDs[j] })
+	go ep.readLoop()
+	return ep, nil
+}
+
+// LocalAddr returns the bound socket address (useful with ":0" binds).
+func (ep *Endpoint) LocalAddr() *net.UDPAddr { return ep.conn.LocalAddr().(*net.UDPAddr) }
+
+// SetPeerAddr adds or updates a peer's address at runtime (late binding for
+// ":0"-bound test clusters).
+func (ep *Endpoint) SetPeerAddr(id wire.NodeID, addr *net.UDPAddr) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if _, known := ep.book[id]; !known && id != ep.self {
+		ep.peerIDs = append(ep.peerIDs, id)
+		sort.Slice(ep.peerIDs, func(i, j int) bool { return ep.peerIDs[i] < ep.peerIDs[j] })
+	}
+	ep.book[id] = addr
+}
+
+// Local implements transport.Endpoint.
+func (ep *Endpoint) Local() wire.NodeID { return ep.self }
+
+// MTU implements transport.Endpoint.
+func (ep *Endpoint) MTU() int { return MTU }
+
+// Work implements transport.Endpoint (real CPUs charge themselves).
+func (ep *Endpoint) Work(time.Duration) time.Duration { return 0 }
+
+// ScaleCPU implements transport.Endpoint as the identity.
+func (ep *Endpoint) ScaleCPU(d time.Duration) time.Duration { return d }
+
+// SetHandler implements transport.Endpoint.
+func (ep *Endpoint) SetHandler(h func(src wire.NodeID, pkt *wire.Packet)) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	ep.handler = h
+}
+
+// Unicast implements transport.Endpoint.
+func (ep *Endpoint) Unicast(dst wire.NodeID, pkt *wire.Packet) error {
+	ep.mu.Lock()
+	addr, ok := ep.book[dst]
+	closed := ep.closed
+	ep.mu.Unlock()
+	if closed {
+		return transport.ErrClosed
+	}
+	if !ok {
+		return fmt.Errorf("udpnet: no address for node %d", dst)
+	}
+	if len(pkt.Payload) > MTU {
+		return fmt.Errorf("udpnet: payload %d exceeds MTU %d", len(pkt.Payload), MTU)
+	}
+	buf, err := pkt.Marshal()
+	if err != nil {
+		return err
+	}
+	if _, err := ep.conn.WriteToUDP(buf, addr); err != nil {
+		return fmt.Errorf("udpnet: send to node %d: %w", dst, err)
+	}
+	return nil
+}
+
+// Multicast implements transport.Endpoint via unicast fan-out.
+func (ep *Endpoint) Multicast(pkt *wire.Packet) error {
+	ep.mu.Lock()
+	peers := append([]wire.NodeID(nil), ep.peerIDs...)
+	ep.mu.Unlock()
+	var firstErr error
+	for _, id := range peers {
+		if err := ep.Unicast(id, pkt); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Close shuts the socket down and stops the read loop.
+func (ep *Endpoint) Close() error {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		<-ep.done
+		return nil
+	}
+	ep.closed = true
+	ep.mu.Unlock()
+	err := ep.conn.Close()
+	<-ep.done
+	return err
+}
+
+func (ep *Endpoint) readLoop() {
+	defer close(ep.done)
+	buf := make([]byte, 64*1024)
+	for {
+		n, _, err := ep.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		pkt, err := wire.Decode(buf[:n])
+		if err != nil {
+			continue // corrupt datagram; UDP loses things, so do we
+		}
+		clone := pkt.Clone()
+		src := clone.Src
+		ep.env.Post(func() {
+			ep.mu.Lock()
+			h := ep.handler
+			ep.mu.Unlock()
+			if h != nil {
+				h(src, clone)
+			}
+		})
+	}
+}

@@ -1,0 +1,249 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// This file defines the typed payload bodies carried inside packets:
+// Ricochet repairs, NAKcast NAK range lists, cumulative ACKs, and
+// heartbeats. Each body encodes to/from the Packet.Payload bytes.
+
+// Body encoding errors.
+var (
+	ErrBodyTruncated = errors.New("wire: truncated body")
+	ErrBodyInvalid   = errors.New("wire: invalid body")
+)
+
+// Repair is the payload of a TypeRepair packet: the XOR of a set of data
+// packets (lateral error correction). A receiver that holds all but one of
+// the covered sequence numbers can reconstruct the missing sample by XOR.
+//
+// XORSentAt and XORPayload are the bitwise XOR of the covered packets'
+// origination timestamps (as Unix nanoseconds) and payloads. Payloads
+// shorter than the longest covered payload are treated as zero-padded;
+// XORLen is the XOR of the individual payload lengths so the reconstructed
+// length is recoverable when exactly one packet is missing.
+type Repair struct {
+	Seqs       []uint64
+	XORSentAt  uint64
+	XORLen     uint16
+	XORPayload []byte
+}
+
+const maxRepairSeqs = 64
+
+// AddPacket folds one data packet into the repair.
+func (r *Repair) AddPacket(p *Packet) {
+	r.Seqs = append(r.Seqs, p.Seq)
+	r.XORSentAt ^= uint64(p.SentAt.UnixNano())
+	r.XORLen ^= uint16(len(p.Payload))
+	if len(p.Payload) > len(r.XORPayload) {
+		grown := make([]byte, len(p.Payload))
+		copy(grown, r.XORPayload)
+		r.XORPayload = grown
+	}
+	for i, b := range p.Payload {
+		r.XORPayload[i] ^= b
+	}
+}
+
+// Reconstruct XORs the held sibling packets out of the repair and returns
+// the missing packet's send time and payload. held must contain every
+// covered packet except the missing one.
+func (r *Repair) Reconstruct(held []*Packet) (sentAt time.Time, payload []byte, err error) {
+	if len(held) != len(r.Seqs)-1 {
+		return time.Time{}, nil, fmt.Errorf("%w: need %d siblings, have %d",
+			ErrBodyInvalid, len(r.Seqs)-1, len(held))
+	}
+	ts := r.XORSentAt
+	ln := r.XORLen
+	buf := append([]byte(nil), r.XORPayload...)
+	for _, p := range held {
+		ts ^= uint64(p.SentAt.UnixNano())
+		ln ^= uint16(len(p.Payload))
+		for i, b := range p.Payload {
+			buf[i] ^= b
+		}
+	}
+	if int(ln) > len(buf) {
+		return time.Time{}, nil, fmt.Errorf("%w: reconstructed length %d exceeds buffer %d",
+			ErrBodyInvalid, ln, len(buf))
+	}
+	return time.Unix(0, int64(ts)), buf[:ln], nil
+}
+
+// Encode appends the body encoding to dst.
+func (r *Repair) Encode(dst []byte) ([]byte, error) {
+	if len(r.Seqs) == 0 || len(r.Seqs) > maxRepairSeqs {
+		return dst, fmt.Errorf("%w: repair covers %d seqs", ErrBodyInvalid, len(r.Seqs))
+	}
+	dst = append(dst, byte(len(r.Seqs)))
+	var b8 [8]byte
+	for _, s := range r.Seqs {
+		binary.BigEndian.PutUint64(b8[:], s)
+		dst = append(dst, b8[:]...)
+	}
+	binary.BigEndian.PutUint64(b8[:], r.XORSentAt)
+	dst = append(dst, b8[:]...)
+	var b2 [2]byte
+	binary.BigEndian.PutUint16(b2[:], r.XORLen)
+	dst = append(dst, b2[:]...)
+	binary.BigEndian.PutUint16(b2[:], uint16(len(r.XORPayload)))
+	dst = append(dst, b2[:]...)
+	dst = append(dst, r.XORPayload...)
+	return dst, nil
+}
+
+// DecodeRepair parses a Repair body.
+func DecodeRepair(buf []byte) (*Repair, error) {
+	if len(buf) < 1 {
+		return nil, ErrBodyTruncated
+	}
+	n := int(buf[0])
+	if n == 0 || n > maxRepairSeqs {
+		return nil, fmt.Errorf("%w: repair covers %d seqs", ErrBodyInvalid, n)
+	}
+	need := 1 + 8*n + 8 + 2 + 2
+	if len(buf) < need {
+		return nil, ErrBodyTruncated
+	}
+	r := &Repair{Seqs: make([]uint64, n)}
+	off := 1
+	for i := 0; i < n; i++ {
+		r.Seqs[i] = binary.BigEndian.Uint64(buf[off : off+8])
+		off += 8
+	}
+	r.XORSentAt = binary.BigEndian.Uint64(buf[off : off+8])
+	off += 8
+	r.XORLen = binary.BigEndian.Uint16(buf[off : off+2])
+	off += 2
+	plen := int(binary.BigEndian.Uint16(buf[off : off+2]))
+	off += 2
+	if len(buf) < off+plen {
+		return nil, ErrBodyTruncated
+	}
+	r.XORPayload = append([]byte(nil), buf[off:off+plen]...)
+	return r, nil
+}
+
+// SeqRange is a half-open-free inclusive range [From, To] of missing
+// sequence numbers.
+type SeqRange struct {
+	From, To uint64
+}
+
+// Count returns the number of sequence numbers covered by the range.
+func (r SeqRange) Count() uint64 {
+	if r.To < r.From {
+		return 0
+	}
+	return r.To - r.From + 1
+}
+
+// NakBody is the payload of a TypeNak packet: the ranges of sequence
+// numbers a receiver is missing.
+type NakBody struct {
+	Ranges []SeqRange
+}
+
+const maxNakRanges = 255
+
+// Encode appends the body encoding to dst.
+func (nb *NakBody) Encode(dst []byte) ([]byte, error) {
+	if len(nb.Ranges) == 0 || len(nb.Ranges) > maxNakRanges {
+		return dst, fmt.Errorf("%w: %d NAK ranges", ErrBodyInvalid, len(nb.Ranges))
+	}
+	dst = append(dst, byte(len(nb.Ranges)))
+	var b8 [8]byte
+	for _, r := range nb.Ranges {
+		if r.To < r.From {
+			return dst, fmt.Errorf("%w: inverted range [%d,%d]", ErrBodyInvalid, r.From, r.To)
+		}
+		binary.BigEndian.PutUint64(b8[:], r.From)
+		dst = append(dst, b8[:]...)
+		binary.BigEndian.PutUint64(b8[:], r.To)
+		dst = append(dst, b8[:]...)
+	}
+	return dst, nil
+}
+
+// DecodeNak parses a NakBody.
+func DecodeNak(buf []byte) (*NakBody, error) {
+	if len(buf) < 1 {
+		return nil, ErrBodyTruncated
+	}
+	n := int(buf[0])
+	if n == 0 {
+		return nil, fmt.Errorf("%w: empty NAK", ErrBodyInvalid)
+	}
+	if len(buf) < 1+16*n {
+		return nil, ErrBodyTruncated
+	}
+	nb := &NakBody{Ranges: make([]SeqRange, n)}
+	off := 1
+	for i := 0; i < n; i++ {
+		nb.Ranges[i].From = binary.BigEndian.Uint64(buf[off : off+8])
+		nb.Ranges[i].To = binary.BigEndian.Uint64(buf[off+8 : off+16])
+		if nb.Ranges[i].To < nb.Ranges[i].From {
+			return nil, fmt.Errorf("%w: inverted range", ErrBodyInvalid)
+		}
+		off += 16
+	}
+	return nb, nil
+}
+
+// AckBody is the payload of a TypeAck packet: a cumulative acknowledgment
+// (every sequence <= Cumulative has been received) plus an optional bitmap
+// of selectively received packets above it.
+type AckBody struct {
+	Cumulative uint64
+	Bitmap     uint64 // bit i set => Cumulative+1+i received
+}
+
+// Encode appends the body encoding to dst.
+func (a *AckBody) Encode(dst []byte) ([]byte, error) {
+	var b [16]byte
+	binary.BigEndian.PutUint64(b[0:8], a.Cumulative)
+	binary.BigEndian.PutUint64(b[8:16], a.Bitmap)
+	return append(dst, b[:]...), nil
+}
+
+// DecodeAck parses an AckBody.
+func DecodeAck(buf []byte) (*AckBody, error) {
+	if len(buf) < 16 {
+		return nil, ErrBodyTruncated
+	}
+	return &AckBody{
+		Cumulative: binary.BigEndian.Uint64(buf[0:8]),
+		Bitmap:     binary.BigEndian.Uint64(buf[8:16]),
+	}, nil
+}
+
+// HeartbeatBody is the payload of a TypeHeartbeat packet: the sender's
+// highest published sequence number and its membership incarnation.
+type HeartbeatBody struct {
+	HighSeq     uint64
+	Incarnation uint32
+}
+
+// Encode appends the body encoding to dst.
+func (h *HeartbeatBody) Encode(dst []byte) ([]byte, error) {
+	var b [12]byte
+	binary.BigEndian.PutUint64(b[0:8], h.HighSeq)
+	binary.BigEndian.PutUint32(b[8:12], h.Incarnation)
+	return append(dst, b[:]...), nil
+}
+
+// DecodeHeartbeat parses a HeartbeatBody.
+func DecodeHeartbeat(buf []byte) (*HeartbeatBody, error) {
+	if len(buf) < 12 {
+		return nil, ErrBodyTruncated
+	}
+	return &HeartbeatBody{
+		HighSeq:     binary.BigEndian.Uint64(buf[0:8]),
+		Incarnation: binary.BigEndian.Uint32(buf[8:12]),
+	}, nil
+}

@@ -1,0 +1,81 @@
+package wire
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzDecode asserts the codec never panics on arbitrary input, and that
+// anything it accepts re-encodes to an equivalent packet.
+func FuzzDecode(f *testing.F) {
+	good, err := (&Packet{
+		Type: TypeData, Src: 3, Stream: 9, Seq: 77,
+		SentAt: time.Unix(0, 12345), Payload: []byte("seed"),
+	}).Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{magic})
+	f.Add(good[:len(good)-1])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Decode(data)
+		if err != nil {
+			return
+		}
+		back, err := p.Marshal()
+		if err != nil {
+			t.Fatalf("decoded packet failed to re-encode: %v", err)
+		}
+		p2, err := Decode(back)
+		if err != nil {
+			t.Fatalf("re-encoded packet failed to decode: %v", err)
+		}
+		if p2.Type != p.Type || p2.Seq != p.Seq || p2.Src != p.Src || p2.Stream != p.Stream {
+			t.Fatal("round-trip changed header fields")
+		}
+	})
+}
+
+// FuzzDecodeRepair asserts the repair body parser is total.
+func FuzzDecodeRepair(f *testing.F) {
+	rep := &Repair{Seqs: []uint64{1, 2, 3}, XORSentAt: 9, XORLen: 4, XORPayload: []byte{1, 2, 3, 4}}
+	seed, err := rep.Encode(nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte{1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeRepair(data)
+		if err != nil {
+			return
+		}
+		if len(r.Seqs) == 0 || len(r.Seqs) > maxRepairSeqs {
+			t.Fatalf("accepted repair with %d seqs", len(r.Seqs))
+		}
+	})
+}
+
+// FuzzDecodeNak asserts the NAK body parser is total and never returns
+// inverted ranges.
+func FuzzDecodeNak(f *testing.F) {
+	nb := &NakBody{Ranges: []SeqRange{{From: 1, To: 5}}}
+	seed, err := nb.Encode(nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, err := DecodeNak(data)
+		if err != nil {
+			return
+		}
+		for _, r := range n.Ranges {
+			if r.To < r.From {
+				t.Fatalf("accepted inverted range %+v", r)
+			}
+		}
+	})
+}
