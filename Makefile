@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: tier1 race bench check
+
+# tier1 is the gating check: vet, build, and the full test suite.
+tier1:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test ./...
+
+# race runs the concurrency-sensitive packages (the parallel experiment
+# engine, the simulation kernel, and the transports) under the race
+# detector.
+race:
+	$(GO) test -race ./internal/experiment ./internal/sim ./internal/transport/...
+
+# bench runs the allocation-sensitive micro benchmarks with allocation
+# counters.
+bench:
+	$(GO) test -bench 'BenchmarkSchedule' -benchmem -run NONE ./internal/sim/
+	$(GO) test -bench 'BenchmarkPacket' -benchmem -run NONE ./internal/wire/
+	$(GO) test -bench 'BenchmarkRunMany|BenchmarkEndToEndSim' -benchmem -benchtime 3x -run NONE .
+
+check: tier1 race

@@ -65,6 +65,44 @@ func runQoSBench(b *testing.B, fast bool, receivers int, rateHz float64,
 	b.ReportMetric(field(ric), "ricochetR4C3_"+unit)
 }
 
+// runnerBenchConfigs builds a batch of independent runs spanning both
+// platforms and both figure protocols, for the serial-vs-parallel engine
+// comparison.
+func runnerBenchConfigs(n int) []experiment.Config {
+	cfgs := make([]experiment.Config, n)
+	for i := range cfgs {
+		cfgs[i] = benchConfig(i%2 == 0, 3, 25, 3+i%2)
+		cfgs[i].Seed = int64(i + 1)
+	}
+	return cfgs
+}
+
+// BenchmarkRunManySerial is the single-worker baseline for the experiment
+// engine; BenchmarkRunManyParallel runs the same batch at GOMAXPROCS width.
+// Their ratio is the engine's speedup on this machine (results are
+// byte-identical either way — see TestBuildDatasetParallelByteIdentical).
+func BenchmarkRunManySerial(b *testing.B) {
+	cfgs := runnerBenchConfigs(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (&experiment.Runner{Jobs: 1}).RunMany(cfgs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunManyParallel(b *testing.B) {
+	cfgs := runnerBenchConfigs(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (&experiment.Runner{}).RunMany(cfgs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func relate2(s metrics.Summary) float64    { return s.ReLate2 }
 func relate2jit(s metrics.Summary) float64 { return s.ReLate2Jit }
 func latency(s metrics.Summary) float64    { return s.AvgLatencyUs }

@@ -35,11 +35,12 @@ func main() {
 		combos    = flag.Int("combos", 48, "environment combos when building a dataset on the fly (paper: 197)")
 		csvOut    = flag.Bool("csv", false, "emit CSV instead of ASCII tables")
 		ablations = flag.Bool("ablations", false, "also run the design-choice ablation studies (A1-A5)")
+		jobs      = flag.Int("jobs", 0, "parallel workers (0 = all CPUs)")
 		verbose   = flag.Bool("v", false, "progress logging")
 	)
 	flag.Parse()
 	if *ablations {
-		tables, err := experiment.Ablations(experiment.AblationOptions{Samples: *samples, Seed: *seed})
+		tables, err := experiment.Ablations(experiment.AblationOptions{Samples: *samples, Seed: *seed, Jobs: *jobs})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "adamant-bench:", err)
 			os.Exit(1)
@@ -55,14 +56,14 @@ func main() {
 			return
 		}
 	}
-	if err := run(*figFlag, *all, *samples, *runs, *seed, *dataset, *combos, *csvOut, *verbose); err != nil {
+	if err := run(*figFlag, *all, *samples, *runs, *seed, *dataset, *combos, *jobs, *csvOut, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "adamant-bench:", err)
 		os.Exit(1)
 	}
 }
 
 func run(figFlag string, all bool, samples, runs int, seed int64, dataset string,
-	combos int, csvOut, verbose bool) error {
+	combos, jobs int, csvOut, verbose bool) error {
 	var wanted []string
 	switch {
 	case all:
@@ -100,7 +101,7 @@ func run(figFlag string, all bool, samples, runs int, seed int64, dataset string
 	if needQoS {
 		var err error
 		qos, err = experiment.RunQoSFigures(experiment.QoSOptions{
-			Samples: samples, Runs: runs, Seed: seed, Progress: progress,
+			Samples: samples, Runs: runs, Seed: seed, Jobs: jobs, Progress: progress,
 		})
 		if err != nil {
 			return err
@@ -114,7 +115,7 @@ func run(figFlag string, all bool, samples, runs int, seed int64, dataset string
 		} else {
 			progress("building %d-combo dataset (pass -dataset to reuse a generated one)", combos)
 			rows, err = experiment.BuildDataset(experiment.DatasetOptions{
-				Combos: combos, Seed: seed, Progress: progress,
+				Combos: combos, Seed: seed, Jobs: jobs, Progress: progress,
 			})
 		}
 		if err != nil {

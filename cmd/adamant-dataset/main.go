@@ -5,14 +5,19 @@
 // QoS metrics. The paper's training set had 394 inputs (197 environments x
 // 2 metrics); -combos 197 reproduces that shape.
 //
-//	adamant-dataset -o data/training.csv -combos 197 -v
+// Runs are spread over a worker pool (-jobs, default: all CPUs); the
+// output CSV is byte-identical at any worker count.
+//
+//	adamant-dataset -o data/training.csv -combos 197 -jobs 8 -v
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"adamant/internal/core"
 	"adamant/internal/experiment"
 )
 
@@ -23,7 +28,8 @@ func main() {
 		runs    = flag.Int("runs", 3, "runs per (environment, protocol)")
 		samples = flag.Int("samples", 600, "samples per run")
 		seed    = flag.Int64("seed", 1, "sampling and simulation seed")
-		verbose = flag.Bool("v", false, "progress logging")
+		jobs    = flag.Int("jobs", 0, "parallel workers (0 = all CPUs)")
+		verbose = flag.Bool("v", false, "per-combo progress logging")
 	)
 	flag.Parse()
 	progress := func(string, ...any) {}
@@ -32,8 +38,24 @@ func main() {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
+	// Run-level progress with ETA. The runner serializes OnRun calls, so
+	// this needs no locking of its own.
+	runsPerCombo := core.NumCandidates * *runs
+	start := time.Now()
+	onRun := func(done, total int) {
+		elapsed := time.Since(start)
+		eta := time.Duration(float64(elapsed) / float64(done) * float64(total-done))
+		fmt.Fprintf(os.Stderr, "\rdataset: combo %d/%d (%d/%d runs, %.0f%%) elapsed %s eta %s   ",
+			done/runsPerCombo, total/runsPerCombo, done, total,
+			100*float64(done)/float64(total),
+			elapsed.Round(time.Second), eta.Round(time.Second))
+		if done == total {
+			fmt.Fprintln(os.Stderr)
+		}
+	}
 	rows, err := experiment.BuildDataset(experiment.DatasetOptions{
-		Combos: *combos, Runs: *runs, Samples: *samples, Seed: *seed, Progress: progress,
+		Combos: *combos, Runs: *runs, Samples: *samples, Seed: *seed, Jobs: *jobs,
+		Progress: progress, OnRun: onRun,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "adamant-dataset:", err)

@@ -1,9 +1,12 @@
 // Command adamant-train trains and evaluates the ADAMANT neural-network
-// configurator on a labeled dataset (from adamant-dataset):
+// configurator on a labeled dataset (from adamant-dataset). Without
+// -dataset it builds a small one on the fly, spreading the simulation runs
+// over -jobs workers:
 //
 //	adamant-train -dataset data/training.csv -hidden 24 -save adamant.ann
 //	adamant-train -dataset data/training.csv -cv            # 10-fold CV
 //	adamant-train -dataset data/training.csv -sweep         # Figures 18/19
+//	adamant-train -combos 48 -jobs 8                        # build + train
 package main
 
 import (
@@ -25,7 +28,9 @@ func main() {
 
 func run() error {
 	var (
-		dataset   = flag.String("dataset", "", "training CSV (required)")
+		dataset   = flag.String("dataset", "", "training CSV (default: build one on the fly)")
+		combos    = flag.Int("combos", 48, "environment combos when building a dataset on the fly (paper: 197)")
+		jobs      = flag.Int("jobs", 0, "parallel workers for the on-the-fly dataset build (0 = all CPUs)")
 		hidden    = flag.Int("hidden", 24, "hidden nodes (paper's best: 24)")
 		stopError = flag.Float64("stop", 1e-4, "MSE stopping error")
 		maxEpochs = flag.Int("epochs", 2000, "max training epochs")
@@ -36,18 +41,24 @@ func run() error {
 		verbose   = flag.Bool("v", false, "progress logging")
 	)
 	flag.Parse()
-	if *dataset == "" {
-		return fmt.Errorf("pass -dataset <csv> (generate one with adamant-dataset)")
-	}
-	rows, err := experiment.ReadCSVFile(*dataset)
-	if err != nil {
-		return err
-	}
 	progress := func(string, ...any) {}
 	if *verbose {
 		progress = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
+	}
+	var rows []experiment.Row
+	var err error
+	if *dataset != "" {
+		rows, err = experiment.ReadCSVFile(*dataset)
+	} else {
+		progress("building %d-combo dataset (pass -dataset to reuse a generated one)", *combos)
+		rows, err = experiment.BuildDataset(experiment.DatasetOptions{
+			Combos: *combos, Seed: *seed, Jobs: *jobs, Progress: progress,
+		})
+	}
+	if err != nil {
+		return err
 	}
 	opts := experiment.ANNOptions{
 		StopError: *stopError, MaxEpochs: *maxEpochs, Seed: *seed, Progress: progress,

@@ -38,6 +38,11 @@ type Env interface {
 	Now() time.Time
 	// After schedules fn to run d from now.
 	After(d time.Duration, fn func()) Timer
+	// Schedule is the fire-and-forget form of After: fn runs d from now
+	// with no way to cancel it. Hot paths that never cancel should prefer
+	// it — SimEnv recycles the underlying event through the kernel's free
+	// list, so Schedule does not allocate once the simulation is warm.
+	Schedule(d time.Duration, fn func())
 	// Post schedules fn to run as soon as possible, after any callbacks
 	// already queued. It is the bridge for external events (e.g. packets
 	// read from a real socket).
@@ -67,8 +72,11 @@ func (s *SimEnv) Now() time.Time { return s.k.Now() }
 // After implements Env.
 func (s *SimEnv) After(d time.Duration, fn func()) Timer { return simTimer{s.k.After(d, fn)} }
 
+// Schedule implements Env through the kernel's pooled fire-and-forget path.
+func (s *SimEnv) Schedule(d time.Duration, fn func()) { s.k.Schedule(d, fn) }
+
 // Post implements Env.
-func (s *SimEnv) Post(fn func()) { s.k.After(0, fn) }
+func (s *SimEnv) Post(fn func()) { s.k.Schedule(0, fn) }
 
 // Rand implements Env.
 func (s *SimEnv) Rand(name string) *rand.Rand { return s.k.Rand(name) }
@@ -129,6 +137,16 @@ func (e *RealEnv) Post(fn func()) {
 	}
 	e.queue = append(e.queue, fn)
 	e.cond.Signal()
+}
+
+// Schedule implements Env. Timers that fire after Close are dropped by
+// Post, matching After's behavior.
+func (e *RealEnv) Schedule(d time.Duration, fn func()) {
+	if d <= 0 {
+		e.Post(fn)
+		return
+	}
+	time.AfterFunc(d, func() { e.Post(fn) })
 }
 
 // After implements Env.

@@ -17,6 +17,7 @@ import (
 type AblationOptions struct {
 	Samples int   // default 1500
 	Seed    int64 // default 1
+	Jobs    int   // worker-pool width; <= 0 means GOMAXPROCS
 }
 
 func (o *AblationOptions) fillDefaults() {
@@ -63,20 +64,24 @@ func AblationOrdering(opts AblationOptions) (Table, error) {
 		Header: ablationHeader,
 		Note:   "head-of-line blocking is most of NAKcast's latency/jitter cost; reliability is unchanged",
 	}
-	for _, v := range []struct {
+	variants := []struct {
 		label  string
 		params transport.Params
 	}{
 		{"ordered (DDS RELIABLE semantics)", transport.Params{"timeout": "1ms"}},
 		{"unordered (deliver on arrival)", transport.Params{"timeout": "1ms", "unordered": "1"}},
-	} {
-		cfg := ablationBase(opts)
-		cfg.Protocol = transport.Spec{Name: "nakcast", Params: v.params}
-		s, err := Run(cfg)
-		if err != nil {
-			return Table{}, err
-		}
-		t.Rows = append(t.Rows, ablationRow(v.label, s))
+	}
+	cfgs := make([]Config, len(variants))
+	for i, v := range variants {
+		cfgs[i] = ablationBase(opts)
+		cfgs[i].Protocol = transport.Spec{Name: "nakcast", Params: v.params}
+	}
+	sums, err := (&Runner{Jobs: opts.Jobs}).RunMany(cfgs)
+	if err != nil {
+		return Table{}, err
+	}
+	for i, v := range variants {
+		t.Rows = append(t.Rows, ablationRow(v.label, sums[i]))
 	}
 	return t, nil
 }
@@ -92,22 +97,26 @@ func AblationFlush(opts AblationOptions) (Table, error) {
 		Header: ablationHeader,
 		Note:   "without the flush, recovery waits for R=4 packets (~400ms at 10Hz)",
 	}
-	for _, v := range []struct {
+	variants := []struct {
 		label string
 		flush string
 	}{
 		{"flush 8ms (default)", "8ms"},
 		{"flush disabled (fixed R groups)", "-1ms"},
-	} {
-		cfg := ablationBase(opts)
-		cfg.RateHz = 10
-		cfg.Protocol = transport.Spec{Name: "ricochet",
+	}
+	cfgs := make([]Config, len(variants))
+	for i, v := range variants {
+		cfgs[i] = ablationBase(opts)
+		cfgs[i].RateHz = 10
+		cfgs[i].Protocol = transport.Spec{Name: "ricochet",
 			Params: transport.Params{"r": "4", "c": "3", "flush": v.flush}}
-		s, err := Run(cfg)
-		if err != nil {
-			return Table{}, err
-		}
-		t.Rows = append(t.Rows, ablationRow(v.label, s))
+	}
+	sums, err := (&Runner{Jobs: opts.Jobs}).RunMany(cfgs)
+	if err != nil {
+		return Table{}, err
+	}
+	for i, v := range variants {
+		t.Rows = append(t.Rows, ablationRow(v.label, sums[i]))
 	}
 	return t, nil
 }
@@ -122,23 +131,27 @@ func AblationStagger(opts AblationOptions) (Table, error) {
 		Header: ablationHeader,
 		Note:   "shifted boundaries enable double-loss cascades but dilute per-repair coverage; the net reliability effect is second-order",
 	}
-	for _, v := range []struct {
+	variants := []struct {
 		label   string
 		stagger string
 	}{
 		{"staggered groups (default)", "0"},
 		{"aligned groups", "-1"},
-	} {
-		cfg := ablationBase(opts)
-		cfg.Receivers = 5
-		cfg.RateHz = 100
-		cfg.Protocol = transport.Spec{Name: "ricochet",
+	}
+	cfgs := make([]Config, len(variants))
+	for i, v := range variants {
+		cfgs[i] = ablationBase(opts)
+		cfgs[i].Receivers = 5
+		cfgs[i].RateHz = 100
+		cfgs[i].Protocol = transport.Spec{Name: "ricochet",
 			Params: transport.Params{"r": "4", "c": "3", "flush": "-1ms", "stagger": v.stagger}}
-		s, err := Run(cfg)
-		if err != nil {
-			return Table{}, err
-		}
-		t.Rows = append(t.Rows, ablationRow(v.label, s))
+	}
+	sums, err := (&Runner{Jobs: opts.Jobs}).RunMany(cfgs)
+	if err != nil {
+		return Table{}, err
+	}
+	for i, v := range variants {
+		t.Rows = append(t.Rows, ablationRow(v.label, sums[i]))
 	}
 	return t, nil
 }
@@ -153,18 +166,22 @@ func AblationRC(opts AblationOptions) (Table, error) {
 		Header: append(append([]string{}, ablationHeader...), "total pkts tx"),
 		Note:   "higher R: less repair traffic, weaker recovery; higher C: more fan-out, stronger recovery",
 	}
-	for _, rc := range []struct{ r, c int }{{2, 3}, {4, 1}, {4, 3}, {8, 3}} {
-		cfg := ablationBase(opts)
-		cfg.Receivers = 5
-		cfg.RateHz = 100
-		cfg.Protocol = transport.Spec{Name: "ricochet", Params: transport.Params{
+	sweep := []struct{ r, c int }{{2, 3}, {4, 1}, {4, 3}, {8, 3}}
+	cfgs := make([]Config, len(sweep))
+	for i, rc := range sweep {
+		cfgs[i] = ablationBase(opts)
+		cfgs[i].Receivers = 5
+		cfgs[i].RateHz = 100
+		cfgs[i].Protocol = transport.Spec{Name: "ricochet", Params: transport.Params{
 			"r": fmt.Sprintf("%d", rc.r), "c": fmt.Sprintf("%d", rc.c), "flush": "-1ms"}}
-		s, report, err := RunDetailed(cfg)
-		if err != nil {
-			return Table{}, err
-		}
-		row := ablationRow(fmt.Sprintf("R=%d C=%d", rc.r, rc.c), s)
-		row = append(row, fmt.Sprintf("%d", report.TotalTx()))
+	}
+	sums, reports, err := (&Runner{Jobs: opts.Jobs}).RunManyDetailed(cfgs)
+	if err != nil {
+		return Table{}, err
+	}
+	for i, rc := range sweep {
+		row := ablationRow(fmt.Sprintf("R=%d C=%d", rc.r, rc.c), sums[i])
+		row = append(row, fmt.Sprintf("%d", reports[i].TotalTx()))
 		t.Rows = append(t.Rows, row)
 	}
 	return t, nil
@@ -181,6 +198,7 @@ func AblationACKvsNAK(opts AblationOptions) (Table, error) {
 		Header: []string{"protocol", "receivers", "reliability %", "latency (us)", "control+data pkts tx", "pkts/sample"},
 		Note:   "ackcast's transmit count grows ~linearly with receivers (one ACK per sample per receiver)",
 	}
+	var cfgs []Config
 	for _, recv := range []int{3, 9, 15} {
 		for _, spec := range []transport.Spec{
 			{Name: "nakcast", Params: transport.Params{"timeout": "1ms"}},
@@ -190,19 +208,22 @@ func AblationACKvsNAK(opts AblationOptions) (Table, error) {
 			cfg.Receivers = recv
 			cfg.RateHz = 50
 			cfg.Protocol = spec
-			s, report, err := RunDetailed(cfg)
-			if err != nil {
-				return Table{}, err
-			}
-			t.Rows = append(t.Rows, []string{
-				spec.Name,
-				fmt.Sprintf("%d", recv),
-				fmt.Sprintf("%.2f", s.Reliability()),
-				fmt.Sprintf("%.0f", s.AvgLatencyUs),
-				fmt.Sprintf("%d", report.TotalTx()),
-				fmt.Sprintf("%.2f", float64(report.TotalTx())/float64(cfg.Samples)),
-			})
+			cfgs = append(cfgs, cfg)
 		}
+	}
+	sums, reports, err := (&Runner{Jobs: opts.Jobs}).RunManyDetailed(cfgs)
+	if err != nil {
+		return Table{}, err
+	}
+	for i, cfg := range cfgs {
+		t.Rows = append(t.Rows, []string{
+			cfg.Protocol.Name,
+			fmt.Sprintf("%d", cfg.Receivers),
+			fmt.Sprintf("%.2f", sums[i].Reliability()),
+			fmt.Sprintf("%.0f", sums[i].AvgLatencyUs),
+			fmt.Sprintf("%d", reports[i].TotalTx()),
+			fmt.Sprintf("%.2f", float64(reports[i].TotalTx())/float64(cfg.Samples)),
+		})
 	}
 	return t, nil
 }

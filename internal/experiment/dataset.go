@@ -14,6 +14,7 @@ import (
 	"adamant/internal/dds"
 	"adamant/internal/netem"
 	"adamant/internal/sim"
+	"adamant/internal/transport"
 )
 
 // Row is one labeled training example for the configurator: an environment
@@ -85,8 +86,14 @@ type DatasetOptions struct {
 	Samples int
 	// Seed drives sampling and run seeds. Default 1.
 	Seed int64
+	// Jobs is the worker-pool width for the combo x candidate x run
+	// product; <= 0 means GOMAXPROCS. Output is identical at any width.
+	Jobs int
 	// Progress, when non-nil, receives status lines.
 	Progress func(format string, args ...any)
+	// OnRun, when non-nil, is called after each individual run completes
+	// with (done, total) run counts. Calls are serialized by the runner.
+	OnRun func(done, total int)
 }
 
 func (o *DatasetOptions) fillDefaults() {
@@ -109,11 +116,16 @@ func (o *DatasetOptions) fillDefaults() {
 
 // BuildDataset runs every candidate protocol over each sampled environment
 // and labels the winner under both composite metrics, producing
-// 2 x Combos rows.
+// 2 x Combos rows. The whole combo x candidate x run product is flattened
+// into one job list and spread over Jobs workers; per-run seeds are derived
+// exactly as the serial path derived them, so the rows (and their CSV
+// serialization) are byte-identical at any worker count.
 func BuildDataset(opts DatasetOptions) ([]Row, error) {
 	opts.fillDefaults()
 	combos := SampleSpace(opts.Combos, opts.Seed)
-	rows := make([]Row, 0, 2*len(combos))
+	cands := core.Candidates()
+	perCombo := len(cands) * opts.Runs
+	cfgs := make([]Config, 0, len(combos)*perCombo)
 	for i, combo := range combos {
 		cfg := Config{
 			Machine:   combo.Machine,
@@ -125,9 +137,19 @@ func BuildDataset(opts DatasetOptions) ([]Row, error) {
 			Samples:   opts.Samples,
 			Seed:      sim.DeriveSeed(opts.Seed, fmt.Sprintf("dataset-%d", i)),
 		}
-		results, err := RunCandidates(cfg, opts.Runs)
-		if err != nil {
-			return nil, fmt.Errorf("experiment: dataset combo %d: %w", i, err)
+		cfgs = append(cfgs, candidateConfigs(cfg, opts.Runs)...)
+	}
+	runner := &Runner{Jobs: opts.Jobs, Progress: opts.OnRun}
+	sums, err := runner.RunMany(cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: dataset: %w", err)
+	}
+	rows := make([]Row, 0, 2*len(combos))
+	for i, combo := range combos {
+		results := make([]CandidateResult, len(cands))
+		for ci, spec := range cands {
+			k := i*perCombo + ci*opts.Runs
+			results[ci] = CandidateResult{Spec: spec, Summaries: sums[k : k+opts.Runs]}
 		}
 		for _, metric := range core.Metrics() {
 			scores := make([]float64, len(results))
@@ -141,7 +163,9 @@ func BuildDataset(opts DatasetOptions) ([]Row, error) {
 				Scores: scores,
 			})
 		}
-		opts.Progress("dataset %d/%d: %s -> %s / %s", i+1, len(combos), cfg.String(),
+		base := cfgs[i*perCombo]
+		base.Protocol = transport.Spec{}
+		opts.Progress("dataset %d/%d: %s -> %s / %s", i+1, len(combos), base.String(),
 			core.Candidates()[rows[len(rows)-2].Winner], core.Candidates()[rows[len(rows)-1].Winner])
 	}
 	return rows, nil

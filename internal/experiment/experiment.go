@@ -204,7 +204,7 @@ func RunDetailed(cfg Config) (metrics.Summary, NetReport, error) {
 			return
 		}
 		published++
-		e.After(period, tick)
+		e.Schedule(period, tick)
 	}
 	e.Post(tick)
 
@@ -233,23 +233,26 @@ func RunDetailed(cfg Config) (metrics.Summary, NetReport, error) {
 	return summary, report, nil
 }
 
+// runConfigs expands cfg into `runs` configs with derived per-run seeds —
+// the seed schedule every multi-run helper (RunN, RunCandidates,
+// BuildDataset, RunQoSFigures) shares, so serial and parallel execution
+// produce identical results.
+func runConfigs(cfg Config, runs int) []Config {
+	out := make([]Config, runs)
+	for i := range out {
+		out[i] = cfg
+		out[i].Seed = sim.DeriveSeed(cfg.Seed, fmt.Sprintf("run-%d", i))
+	}
+	return out
+}
+
 // RunN executes the experiment `runs` times with derived seeds (the paper
 // runs every configuration five times) and returns the per-run summaries.
 func RunN(cfg Config, runs int) ([]metrics.Summary, error) {
 	if runs < 1 {
 		return nil, errors.New("experiment: runs must be >= 1")
 	}
-	out := make([]metrics.Summary, runs)
-	for i := 0; i < runs; i++ {
-		run := cfg
-		run.Seed = sim.DeriveSeed(cfg.Seed, fmt.Sprintf("run-%d", i))
-		s, err := Run(run)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = s
-	}
-	return out, nil
+	return (&Runner{Jobs: 1}).RunMany(runConfigs(cfg, runs))
 }
 
 // Score extracts the configured composite metric from a summary.
@@ -278,20 +281,41 @@ type CandidateResult struct {
 	Summaries []metrics.Summary
 }
 
+// candidateConfigs expands cfg into one config per (candidate, run) in
+// candidate-major order, with the same per-run seed derivation RunN uses.
+func candidateConfigs(cfg Config, runs int) []Config {
+	cands := core.Candidates()
+	out := make([]Config, 0, len(cands)*runs)
+	for _, spec := range cands {
+		c := cfg
+		c.Protocol = spec
+		out = append(out, runConfigs(c, runs)...)
+	}
+	return out
+}
+
 // RunCandidates runs every ADAMANT candidate protocol over the same
 // environment (same derived seeds), returning results in Candidates()
 // order.
 func RunCandidates(cfg Config, runs int) ([]CandidateResult, error) {
+	return RunCandidatesJobs(cfg, runs, 1)
+}
+
+// RunCandidatesJobs is RunCandidates with the candidate x run product
+// spread over `jobs` workers (<= 0 means GOMAXPROCS). Results are
+// identical to the serial path.
+func RunCandidatesJobs(cfg Config, runs, jobs int) ([]CandidateResult, error) {
+	if runs < 1 {
+		return nil, errors.New("experiment: runs must be >= 1")
+	}
 	cands := core.Candidates()
+	sums, err := (&Runner{Jobs: jobs}).RunMany(candidateConfigs(cfg, runs))
+	if err != nil {
+		return nil, err
+	}
 	out := make([]CandidateResult, len(cands))
 	for i, spec := range cands {
-		c := cfg
-		c.Protocol = spec
-		ss, err := RunN(c, runs)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = CandidateResult{Spec: spec, Summaries: ss}
+		out[i] = CandidateResult{Spec: spec, Summaries: sums[i*runs : (i+1)*runs]}
 	}
 	return out, nil
 }

@@ -19,6 +19,9 @@ type QoSOptions struct {
 	Runs int
 	// Seed drives the run seeds. Default 1.
 	Seed int64
+	// Jobs is the worker-pool width for the cell x run product; <= 0
+	// means GOMAXPROCS. Output is identical at any width.
+	Jobs int
 	// Progress, when non-nil, receives status lines.
 	Progress func(format string, args ...any)
 }
@@ -78,6 +81,9 @@ type QoSFigures struct {
 // RunQoSFigures executes every run needed by Figures 4-17: both platforms,
 // {3 receivers x 10/25 Hz} and {15 receivers x 10 Hz}, NAKcast-1ms and
 // Ricochet-R4C3, Runs seeds each, OpenSplice-profile middleware at 5% loss.
+// The cell x run product is flattened over a Jobs-wide worker pool; per-run
+// seeds match the serial RunN schedule, so the figures are identical at any
+// worker count.
 func RunQoSFigures(opts QoSOptions) (*QoSFigures, error) {
 	opts.fillDefaults()
 	q := &QoSFigures{opts: opts, data: make(map[qosKey][]metrics.Summary)}
@@ -85,6 +91,8 @@ func RunQoSFigures(opts QoSOptions) (*QoSFigures, error) {
 		receivers, rate int
 	}
 	cells := []cell{{3, 10}, {3, 25}, {15, 10}}
+	var keys []qosKey
+	var cfgs []Config
 	for _, fast := range []bool{true, false} {
 		plat := platformSlow
 		if fast {
@@ -104,13 +112,17 @@ func RunQoSFigures(opts QoSOptions) (*QoSFigures, error) {
 					Seed:      opts.Seed,
 				}
 				opts.Progress("running %s x%d", cfg, opts.Runs)
-				ss, err := RunN(cfg, opts.Runs)
-				if err != nil {
-					return nil, err
-				}
-				q.data[qosKey{fast, c.receivers, c.rate, pi}] = ss
+				keys = append(keys, qosKey{fast, c.receivers, c.rate, pi})
+				cfgs = append(cfgs, runConfigs(cfg, opts.Runs)...)
 			}
 		}
+	}
+	sums, err := (&Runner{Jobs: opts.Jobs}).RunMany(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for ki, key := range keys {
+		q.data[key] = sums[ki*opts.Runs : (ki+1)*opts.Runs]
 	}
 	return q, nil
 }

@@ -1,0 +1,98 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"adamant/internal/metrics"
+)
+
+// Runner fans independent experiment runs out over a worker pool. Every run
+// builds its own simulation kernel, network, and protocol stack from its
+// Config (including the seed), so runs share no mutable state and results
+// are bit-identical regardless of worker count or completion order — the
+// pool changes wall-clock time, never output. The zero value runs with
+// GOMAXPROCS workers.
+type Runner struct {
+	// Jobs is the worker count; <= 0 means runtime.GOMAXPROCS(0).
+	Jobs int
+	// Progress, when non-nil, is called after each run completes with the
+	// number of finished runs and the total. Calls are serialized (the
+	// callback needs no locking of its own) but may arrive from any worker
+	// goroutine, and done is monotonically increasing across calls.
+	Progress func(done, total int)
+}
+
+func (r *Runner) jobs() int {
+	if r != nil && r.Jobs > 0 {
+		return r.Jobs
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// RunMany executes every config and returns the summaries in input order.
+// On the first failure the remaining queue is abandoned (in-flight runs
+// finish), and that first error is returned.
+func (r *Runner) RunMany(configs []Config) ([]metrics.Summary, error) {
+	sums, _, err := r.RunManyDetailed(configs)
+	return sums, err
+}
+
+// RunManyDetailed is RunMany plus each run's per-node traffic report.
+func (r *Runner) RunManyDetailed(configs []Config) ([]metrics.Summary, []NetReport, error) {
+	total := len(configs)
+	sums := make([]metrics.Summary, total)
+	reports := make([]NetReport, total)
+	if total == 0 {
+		return sums, reports, nil
+	}
+	workers := r.jobs()
+	if workers > total {
+		workers = total
+	}
+
+	// Workers claim the next unclaimed config by atomic increment; results
+	// land at the claimed index, so output order is input order no matter
+	// which worker finishes when. The first error cancels the context,
+	// which stops workers from claiming further configs.
+	ctx, cancel := context.WithCancelCause(context.Background())
+	defer cancel(nil)
+	var (
+		next int64 = -1
+		done int        // guarded by mu
+		mu   sync.Mutex // serializes Progress
+		wg   sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= total || ctx.Err() != nil {
+					return
+				}
+				s, rep, err := RunDetailed(configs[i])
+				if err != nil {
+					cancel(fmt.Errorf("experiment: run %d of %d: %w", i+1, total, err))
+					return
+				}
+				sums[i], reports[i] = s, rep
+				if r.Progress != nil {
+					mu.Lock()
+					done++
+					r.Progress(done, total)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := context.Cause(ctx); err != nil {
+		return nil, nil, err
+	}
+	return sums, reports, nil
+}

@@ -215,35 +215,79 @@ func (s Summary) String() string {
 // Bandwidth tracks bytes per one-second bucket so that total usage, mean
 // rate, and burstiness (stddev of per-second usage) can be reported. The
 // zero value is ready to use.
+//
+// Buckets are a dense preallocated slice anchored at the first observed
+// second rather than a map: experiment traffic is contiguous in time, and
+// Add sits on the per-packet hot path of every receiver, so bucket updates
+// must be an index increment rather than a map probe.
 type Bandwidth struct {
-	buckets map[int64]uint64
+	base    int64    // unix second of buckets[0]; meaningful when len(buckets) > 0
+	buckets []uint64 // bytes per second, dense from base
 	total   uint64
 }
+
+// bandwidthHint is the initial bucket capacity: most experiment runs span
+// well under a minute of virtual time.
+const bandwidthHint = 64
 
 // Add records n bytes observed at time t.
 func (b *Bandwidth) Add(t time.Time, n int) {
 	if n <= 0 {
 		return
 	}
-	if b.buckets == nil {
-		b.buckets = make(map[int64]uint64)
+	sec := t.Unix()
+	if len(b.buckets) == 0 {
+		b.base = sec
+		if b.buckets == nil {
+			b.buckets = make([]uint64, 0, bandwidthHint)
+		}
 	}
-	b.buckets[t.Unix()] += uint64(n)
+	idx := sec - b.base
+	if idx < 0 {
+		// Out-of-order observation before the anchor: re-anchor and shift.
+		grown := make([]uint64, int64(len(b.buckets))-idx)
+		copy(grown[-idx:], b.buckets)
+		b.buckets = grown
+		b.base = sec
+		idx = 0
+	}
+	for int64(len(b.buckets)) <= idx {
+		b.buckets = append(b.buckets, 0)
+	}
+	b.buckets[idx] += uint64(n)
 	b.total += uint64(n)
 }
 
 // Merge folds other into b.
 func (b *Bandwidth) Merge(other *Bandwidth) {
-	if other.buckets != nil {
-		if b.buckets == nil {
-			b.buckets = make(map[int64]uint64)
-		}
-		for k, v := range other.buckets {
-			b.buckets[k] += v
+	if len(other.buckets) > 0 {
+		if len(b.buckets) == 0 {
+			b.base = other.base
+			b.buckets = append(b.buckets[:0], other.buckets...)
+		} else {
+			lo := b.base
+			if other.base < lo {
+				lo = other.base
+			}
+			hi := b.end()
+			if oe := other.end(); oe > hi {
+				hi = oe
+			}
+			merged := make([]uint64, hi-lo+1)
+			copy(merged[b.base-lo:], b.buckets)
+			for i, v := range other.buckets {
+				merged[other.base-lo+int64(i)] += v
+			}
+			b.base = lo
+			b.buckets = merged
 		}
 	}
 	b.total += other.total
 }
+
+// end returns the unix second of the last bucket; only valid when buckets
+// is non-empty.
+func (b *Bandwidth) end() int64 { return b.base + int64(len(b.buckets)) - 1 }
 
 // Total returns the total bytes recorded.
 func (b *Bandwidth) Total() uint64 { return b.total }
@@ -251,44 +295,21 @@ func (b *Bandwidth) Total() uint64 { return b.total }
 // MeanRate returns the mean bytes/second across the active interval
 // (first bucket through last bucket, inclusive).
 func (b *Bandwidth) MeanRate() float64 {
-	lo, hi, ok := b.span()
-	if !ok {
+	if len(b.buckets) == 0 {
 		return 0
 	}
-	return float64(b.total) / float64(hi-lo+1)
+	return float64(b.total) / float64(len(b.buckets))
 }
 
 // Burstiness returns the standard deviation of bytes-per-second over the
 // active interval, counting empty seconds inside the interval as zero.
 func (b *Bandwidth) Burstiness() float64 {
-	lo, hi, ok := b.span()
-	if !ok {
+	if len(b.buckets) == 0 {
 		return 0
 	}
 	var w Welford
-	for s := lo; s <= hi; s++ {
-		w.Add(float64(b.buckets[s]))
+	for _, v := range b.buckets {
+		w.Add(float64(v))
 	}
 	return w.StdDev()
-}
-
-func (b *Bandwidth) span() (lo, hi int64, ok bool) {
-	if len(b.buckets) == 0 {
-		return 0, 0, false
-	}
-	first := true
-	for s := range b.buckets {
-		if first {
-			lo, hi = s, s
-			first = false
-			continue
-		}
-		if s < lo {
-			lo = s
-		}
-		if s > hi {
-			hi = s
-		}
-	}
-	return lo, hi, true
 }

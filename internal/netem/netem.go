@@ -427,7 +427,7 @@ func (nd *Node) transmit(targets []*Node, pkt *wire.Packet) error {
 	arrival := linkDone.Add(txTime).Add(nd.net.cfg.PropDelay)
 	clone := pkt.Clone()
 	src := nd.id
-	e.After(arrival.Sub(now), func() {
+	e.Schedule(arrival.Sub(now), func() {
 		for _, t := range targets {
 			t.receive(src, clone, frame)
 		}
@@ -462,7 +462,7 @@ func (nd *Node) receive(src wire.NodeID, pkt *wire.Packet, frame int) {
 	cpuStart := maxTime(now, nd.cpuBusyUntil)
 	cpuDone := cpuStart.Add(nd.scaled(nd.net.cfg.Cost.recvCost(frame)))
 	nd.cpuBusyUntil = cpuDone
-	e.After(cpuDone.Sub(now), func() {
+	e.Schedule(cpuDone.Sub(now), func() {
 		if nd.handler != nil {
 			nd.handler(src, pkt)
 		}

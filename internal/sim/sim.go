@@ -33,6 +33,11 @@ type Event struct {
 	fn    func()
 	index int // heap index, -1 once fired or canceled
 	owner *Kernel
+	// pooled marks fire-and-forget events created by Schedule: no handle
+	// escapes to callers, so the kernel recycles them through its free list
+	// after they fire. Events returned by At/After are never pooled because
+	// a caller may hold the pointer and Cancel it later.
+	pooled bool
 }
 
 // Cancel removes the event from the queue. It returns false if the event
@@ -70,7 +75,15 @@ type Kernel struct {
 	fired  uint64
 	// maxEvents guards against runaway event loops in tests; 0 = unlimited.
 	maxEvents uint64
+	// free recycles pooled events (see Schedule). Packet-hop simulations
+	// churn one event per hop, so reuse keeps the workers out of the
+	// allocator on the hot path.
+	free []*Event
 }
+
+// maxFreeEvents bounds the free list so a scheduling burst cannot pin an
+// arbitrarily large pool of dead events.
+const maxFreeEvents = 1 << 15
 
 // New returns a kernel with its clock at Epoch, deriving all randomness from
 // seed.
@@ -119,6 +132,32 @@ func (k *Kernel) After(d time.Duration, fn func()) *Event {
 	return k.At(k.now.Add(d), fn)
 }
 
+// Schedule is the fire-and-forget form of After: fn runs d from now and the
+// event cannot be canceled. Because no handle escapes, the kernel recycles
+// the event through an internal free list after it fires, so hot paths that
+// never cancel (packet hops, delivery callbacks) schedule without
+// allocating. Ordering is identical to After: events fire by (time, FIFO).
+func (k *Kernel) Schedule(d time.Duration, fn func()) {
+	if fn == nil {
+		panic("sim: Schedule called with nil callback")
+	}
+	t := k.now.Add(d)
+	if t.Before(k.now) {
+		t = k.now
+	}
+	var e *Event
+	if n := len(k.free); n > 0 {
+		e = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		*e = Event{at: t, seq: k.nextID, fn: fn, owner: k, pooled: true}
+	} else {
+		e = &Event{at: t, seq: k.nextID, fn: fn, owner: k, pooled: true}
+	}
+	k.nextID++
+	heap.Push(&k.queue, e)
+}
+
 // Step fires the earliest pending event, advancing the clock to its time.
 // It returns false if the queue is empty.
 func (k *Kernel) Step() bool {
@@ -131,6 +170,9 @@ func (k *Kernel) Step() bool {
 	e.fn = nil
 	e.index = -1
 	k.fired++
+	if e.pooled && len(k.free) < maxFreeEvents {
+		k.free = append(k.free, e)
+	}
 	fn()
 	return true
 }

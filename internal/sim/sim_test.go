@@ -328,3 +328,16 @@ func BenchmarkScheduleAndFire(b *testing.B) {
 		k.Step()
 	}
 }
+
+// BenchmarkSchedulePooled measures the fire-and-forget path: after warmup
+// every event comes from the kernel free list, so steady state allocates
+// nothing per event.
+func BenchmarkSchedulePooled(b *testing.B) {
+	k := New(1)
+	fn := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k.Schedule(time.Microsecond, fn)
+		k.Step()
+	}
+}

@@ -117,6 +117,8 @@ type Sender struct {
 	store       map[uint64]storeEntry
 	backlog     [][]byte
 	cums        map[wire.NodeID]uint64 // per-receiver cumulative ACK
+	ids         []wire.NodeID          // cums keys in admission order: retransmits must not follow randomized map order, or replays diverge
+	arena       transport.Arena
 	rto         env.Timer
 	lastMin     uint64
 	stallRounds int
@@ -150,6 +152,7 @@ func NewSender(cfg transport.Config, opts Options) (*Sender, error) {
 	for _, id := range cfg.Receivers() {
 		if id != cfg.Endpoint.Local() {
 			s.cums[id] = 0
+			s.ids = append(s.ids, id)
 		}
 	}
 	s.mux.Handle(wire.TypeAck, s.onAck)
@@ -166,7 +169,7 @@ func (s *Sender) Publish(payload []byte) error {
 		return fmt.Errorf("ackcast: backlog full (%d samples)", len(s.backlog))
 	}
 	s.seq++
-	s.backlog = append(s.backlog, append([]byte(nil), payload...))
+	s.backlog = append(s.backlog, s.arena.Copy(payload))
 	s.pump()
 	return nil
 }
@@ -249,17 +252,22 @@ func (s *Sender) fireRTO() {
 	} else {
 		s.stallRounds++
 		if s.stallRounds > maxStallRounds {
-			for id, cum := range s.cums {
-				if cum < s.sent {
+			kept := s.ids[:0]
+			for _, id := range s.ids {
+				if s.cums[id] < s.sent {
 					delete(s.cums, id)
+				} else {
+					kept = append(kept, id)
 				}
 			}
+			s.ids = kept
 			s.stallRounds = 0
 			s.pump()
 			return
 		}
 	}
-	for id, cum := range s.cums {
+	for _, id := range s.ids {
+		cum := s.cums[id]
 		n := 0
 		for seq := cum + 1; seq <= s.sent && n < retransBurst; seq++ {
 			e, ok := s.store[seq]
@@ -301,6 +309,7 @@ func (s *Sender) onAck(src wire.NodeID, pkt *wire.Packet) {
 			return
 		}
 		s.cums[src] = 0
+		s.ids = append(s.ids, src)
 		prev = 0
 	}
 	if body.Cumulative <= prev {
@@ -326,6 +335,7 @@ type Receiver struct {
 
 	nextDeliver uint64
 	buf         map[uint64]bufEntry
+	arena       transport.Arena
 	stats       transport.ReceiverStats
 	closed      bool
 }
@@ -380,7 +390,7 @@ func (r *Receiver) onData(src wire.NodeID, pkt *wire.Packet) {
 	}
 	r.buf[pkt.Seq] = bufEntry{
 		sentAt:    pkt.SentAt,
-		payload:   append([]byte(nil), pkt.Payload...),
+		payload:   r.arena.Copy(pkt.Payload),
 		recovered: pkt.Type == wire.TypeRetrans,
 	}
 	for {

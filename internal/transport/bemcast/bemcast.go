@@ -40,6 +40,7 @@ func Factory() *transport.Factory {
 type Sender struct {
 	cfg    transport.Config
 	seq    uint64
+	arena  transport.Arena
 	closed bool
 }
 
@@ -65,7 +66,7 @@ func (s *Sender) Publish(payload []byte) error {
 		Stream:  s.cfg.Stream,
 		Seq:     s.seq,
 		SentAt:  s.cfg.Env.Now(),
-		Payload: append([]byte(nil), payload...),
+		Payload: s.arena.Copy(payload),
 	})
 }
 
@@ -84,6 +85,7 @@ type Receiver struct {
 	mux    *transport.Mux
 	seen   map[uint64]bool
 	low    uint64
+	arena  transport.Arena
 	stats  transport.ReceiverStats
 	closed bool
 }
@@ -144,7 +146,7 @@ func (r *Receiver) onData(_ wire.NodeID, pkt *wire.Packet) {
 	r.cfg.Deliver(transport.Delivery{
 		Stream:      r.cfg.Stream,
 		Seq:         pkt.Seq,
-		Payload:     append([]byte(nil), pkt.Payload...),
+		Payload:     r.arena.Copy(pkt.Payload),
 		SentAt:      pkt.SentAt,
 		DeliveredAt: r.cfg.Env.Now(),
 	})

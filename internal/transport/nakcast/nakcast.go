@@ -152,6 +152,7 @@ type Sender struct {
 	mux    *transport.Mux
 	seq    uint64
 	hist   []histEntry // ring buffer indexed by seq % History
+	arena  transport.Arena
 	hbTmr  env.Timer
 	closed bool
 }
@@ -188,7 +189,7 @@ func (s *Sender) Publish(payload []byte) error {
 	}
 	s.seq++
 	now := s.cfg.Env.Now()
-	cp := append([]byte(nil), payload...)
+	cp := s.arena.Copy(payload)
 	s.hist[s.seq%uint64(len(s.hist))] = histEntry{seq: s.seq, sentAt: now, payload: cp}
 	pkt := &wire.Packet{
 		Type:    wire.TypeData,
@@ -293,6 +294,7 @@ type Receiver struct {
 	missing     map[uint64]*missState
 	abandoned   map[uint64]bool
 	seen        map[uint64]bool // unordered mode: delivered seqs
+	arena       transport.Arena
 	eos         bool
 	eosHigh     uint64
 
@@ -375,7 +377,7 @@ func (r *Receiver) onData(src wire.NodeID, pkt *wire.Packet) {
 	recovered := pkt.Type == wire.TypeRetrans
 	r.buf[seq] = bufEntry{
 		sentAt:    pkt.SentAt,
-		payload:   append([]byte(nil), pkt.Payload...),
+		payload:   r.arena.Copy(pkt.Payload),
 		recovered: recovered,
 	}
 	delete(r.missing, seq)
@@ -588,7 +590,7 @@ func (r *Receiver) deliver(seq uint64) {
 		emit()
 		return
 	}
-	r.cfg.Env.After(delay, emit)
+	r.cfg.Env.Schedule(delay, emit)
 }
 
 func minKey(m map[uint64]bufEntry) (uint64, bool) {

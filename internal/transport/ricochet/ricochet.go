@@ -200,6 +200,7 @@ func Factory() *transport.Factory {
 type Sender struct {
 	cfg    transport.Config
 	seq    uint64
+	arena  transport.Arena
 	closed bool
 }
 
@@ -225,7 +226,7 @@ func (s *Sender) Publish(payload []byte) error {
 		Stream:  s.cfg.Stream,
 		Seq:     s.seq,
 		SentAt:  s.cfg.Env.Now(),
-		Payload: append([]byte(nil), payload...),
+		Payload: s.arena.Copy(payload),
 	}
 	return s.cfg.Endpoint.Multicast(pkt)
 }
@@ -576,7 +577,7 @@ func (r *Receiver) deliverAfter(delay time.Duration, pkt *wire.Packet, recovered
 		emit()
 		return
 	}
-	r.cfg.Env.After(delay, emit)
+	r.cfg.Env.Schedule(delay, emit)
 }
 
 // quickSelect returns the k-th smallest value (1-based) of s, reordering s.

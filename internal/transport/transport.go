@@ -424,3 +424,42 @@ func StaticReceivers(ids ...wire.NodeID) func() []wire.NodeID {
 	fixed := append([]wire.NodeID(nil), ids...)
 	return func() []wire.NodeID { return fixed }
 }
+
+// arenaChunk is the allocation granularity of Arena. Payloads at or above
+// a quarter of it get their own allocation so one big sample cannot waste
+// most of a chunk.
+const arenaChunk = 4096
+
+// Arena amortizes the per-sample payload copies protocols make when they
+// retain data past a receive or publish callback (history buffers, holdback
+// queues, deliveries). Copies are carved sequentially from chunk-sized
+// blocks, so the 12-byte experiment payloads cost one allocation per ~340
+// samples instead of one each. Carved slices are never reused — they stay
+// valid (and must be treated as immutable by later writers) for the life of
+// the program, exactly like individually allocated copies.
+//
+// The zero value is ready to use. An Arena is not safe for concurrent use;
+// give each protocol instance its own (the env serial-callback contract
+// already guarantees single-threaded access).
+type Arena struct {
+	buf []byte
+}
+
+// Copy returns a stable copy of p backed by the arena. Copy(nil) returns
+// nil, preserving payload nil-ness.
+func (a *Arena) Copy(p []byte) []byte {
+	n := len(p)
+	if n == 0 {
+		return nil
+	}
+	if n >= arenaChunk/4 {
+		return append([]byte(nil), p...)
+	}
+	if len(a.buf) < n {
+		a.buf = make([]byte, arenaChunk)
+	}
+	c := a.buf[:n:n]
+	a.buf = a.buf[n:]
+	copy(c, p)
+	return c
+}

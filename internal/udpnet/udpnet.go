@@ -33,6 +33,7 @@ type Endpoint struct {
 
 	mu      sync.Mutex
 	handler func(src wire.NodeID, pkt *wire.Packet)
+	sendBuf []byte // reusable encode buffer, guarded by mu
 	closed  bool
 	done    chan struct{}
 }
@@ -111,25 +112,27 @@ func (ep *Endpoint) SetHandler(h func(src wire.NodeID, pkt *wire.Packet)) {
 	ep.handler = h
 }
 
-// Unicast implements transport.Endpoint.
+// Unicast implements transport.Endpoint. Packets are encoded into a
+// per-endpoint reusable buffer (instead of a fresh Marshal allocation per
+// send), so the steady-state send path does not allocate.
 func (ep *Endpoint) Unicast(dst wire.NodeID, pkt *wire.Packet) error {
 	ep.mu.Lock()
-	addr, ok := ep.book[dst]
-	closed := ep.closed
-	ep.mu.Unlock()
-	if closed {
+	defer ep.mu.Unlock()
+	if ep.closed {
 		return transport.ErrClosed
 	}
+	addr, ok := ep.book[dst]
 	if !ok {
 		return fmt.Errorf("udpnet: no address for node %d", dst)
 	}
 	if len(pkt.Payload) > MTU {
 		return fmt.Errorf("udpnet: payload %d exceeds MTU %d", len(pkt.Payload), MTU)
 	}
-	buf, err := pkt.Marshal()
+	buf, err := pkt.Encode(ep.sendBuf[:0])
 	if err != nil {
 		return err
 	}
+	ep.sendBuf = buf[:0]
 	if _, err := ep.conn.WriteToUDP(buf, addr); err != nil {
 		return fmt.Errorf("udpnet: send to node %d: %w", dst, err)
 	}
