@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 race bench check
+.PHONY: tier1 race bench bench-ann check
 
 # tier1 is the gating check: vet, build, and the full test suite.
 tier1:
@@ -9,10 +9,10 @@ tier1:
 	$(GO) test ./...
 
 # race runs the concurrency-sensitive packages (the parallel experiment
-# engine, the simulation kernel, and the transports) under the race
-# detector.
+# engine, the parallel ANN trainer, the simulation kernel, and the
+# transports) under the race detector.
 race:
-	$(GO) test -race ./internal/experiment ./internal/sim ./internal/transport/...
+	$(GO) test -race ./internal/experiment ./internal/ann/... ./internal/sim ./internal/transport/...
 
 # bench runs the allocation-sensitive micro benchmarks with allocation
 # counters.
@@ -20,5 +20,12 @@ bench:
 	$(GO) test -bench 'BenchmarkSchedule' -benchmem -run NONE ./internal/sim/
 	$(GO) test -bench 'BenchmarkPacket' -benchmem -run NONE ./internal/wire/
 	$(GO) test -bench 'BenchmarkRunMany|BenchmarkEndToEndSim' -benchmem -benchtime 3x -run NONE .
+
+# bench-ann asserts the zero-alloc inference kernels (-benchmem) and
+# regenerates BENCH_ann.json, the sub-10us query-latency report.
+bench-ann:
+	$(GO) test -bench 'BenchmarkRun|BenchmarkTrainEpoch' -benchmem -run NONE ./internal/ann/
+	$(GO) test -bench 'BenchmarkANN' -benchmem -benchtime 100x -run NONE .
+	$(GO) run ./cmd/adamant-bench -ann -dataset data/training.csv -out BENCH_ann.json
 
 check: tier1 race

@@ -266,6 +266,41 @@ func BenchmarkANNQuery(b *testing.B) {
 	}
 }
 
+// BenchmarkANNRunBatch measures the tiled batch kernel: one full-dataset
+// evaluation per iteration (the inner loop of accuracy scoring and
+// cross-validation).
+func BenchmarkANNRunBatch(b *testing.B) {
+	rows := benchRows(b)
+	ds := experiment.ToANNDataset(rows)
+	net := trainBenchNet(b, ds)
+	classes := make([]int, ds.Len())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := net.ClassifyBatch(ds.Inputs, classes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkANNTrainEpochs measures RPROP training throughput: a fixed
+// 30-epoch run per iteration.
+func BenchmarkANNTrainEpochs(b *testing.B) {
+	rows := benchRows(b)
+	ds := experiment.ToANNDataset(rows)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net, err := ann.New(ann.Config{Layers: []int{core.NumInputs, 24, core.NumCandidates}, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := net.Train(ds, ann.TrainOptions{MaxEpochs: 30, DesiredError: 1e-12}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkEndToEndSim measures simulator throughput: one full experiment
 // run per iteration.
 func BenchmarkEndToEndSim(b *testing.B) {

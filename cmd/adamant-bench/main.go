@@ -12,6 +12,7 @@
 //	adamant-bench -all                # everything (takes a while)
 //	adamant-bench -fig 19 -dataset data/training.csv
 //	adamant-bench -fig 5 -samples 20000 -runs 5   # paper-scale workload
+//	adamant-bench -ann -dataset data/training.csv -out BENCH_ann.json
 package main
 
 import (
@@ -36,9 +37,21 @@ func main() {
 		csvOut    = flag.Bool("csv", false, "emit CSV instead of ASCII tables")
 		ablations = flag.Bool("ablations", false, "also run the design-choice ablation studies (A1-A5)")
 		jobs      = flag.Int("jobs", 0, "parallel workers (0 = all CPUs)")
+		annBench  = flag.Bool("ann", false, "run the ANN inference-latency harness and emit a JSON report")
+		outPath   = flag.String("out", "BENCH_ann.json", "output path for the -ann JSON report")
+		queries   = flag.Int("queries", 100000, "timed Classify calls for the -ann harness")
 		verbose   = flag.Bool("v", false, "progress logging")
 	)
 	flag.Parse()
+	if *annBench {
+		if err := runANNBench(*dataset, *combos, *outPath, *queries, *seed, *jobs, *verbose); err != nil {
+			fmt.Fprintln(os.Stderr, "adamant-bench:", err)
+			os.Exit(1)
+		}
+		if *figFlag == "" && !*all && !*ablations {
+			return
+		}
+	}
 	if *ablations {
 		tables, err := experiment.Ablations(experiment.AblationOptions{Samples: *samples, Seed: *seed, Jobs: *jobs})
 		if err != nil {
@@ -130,7 +143,7 @@ func run(figFlag string, all bool, samples, runs int, seed int64, dataset string
 			fmt.Println(t.Format())
 		}
 	}
-	annOpts := experiment.ANNOptions{Seed: seed, Progress: progress}
+	annOpts := experiment.ANNOptions{Seed: seed, Jobs: jobs, Progress: progress}
 	for _, f := range wanted {
 		switch f {
 		case "t1", "T1":

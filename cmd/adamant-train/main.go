@@ -1,7 +1,9 @@
 // Command adamant-train trains and evaluates the ADAMANT neural-network
 // configurator on a labeled dataset (from adamant-dataset). Without
-// -dataset it builds a small one on the fly, spreading the simulation runs
-// over -jobs workers:
+// -dataset it builds a small one on the fly. -jobs workers parallelize
+// the dataset build, the gradient accumulation inside each training, the
+// cross-validation folds, and the -sweep training grid; trained weights
+// are byte-identical at any worker count.
 //
 //	adamant-train -dataset data/training.csv -hidden 24 -save adamant.ann
 //	adamant-train -dataset data/training.csv -cv            # 10-fold CV
@@ -30,7 +32,7 @@ func run() error {
 	var (
 		dataset   = flag.String("dataset", "", "training CSV (default: build one on the fly)")
 		combos    = flag.Int("combos", 48, "environment combos when building a dataset on the fly (paper: 197)")
-		jobs      = flag.Int("jobs", 0, "parallel workers for the on-the-fly dataset build (0 = all CPUs)")
+		jobs      = flag.Int("jobs", 0, "parallel workers for dataset build, training, CV, and sweep (0 = all CPUs)")
 		hidden    = flag.Int("hidden", 24, "hidden nodes (paper's best: 24)")
 		stopError = flag.Float64("stop", 1e-4, "MSE stopping error")
 		maxEpochs = flag.Int("epochs", 2000, "max training epochs")
@@ -61,7 +63,7 @@ func run() error {
 		return err
 	}
 	opts := experiment.ANNOptions{
-		StopError: *stopError, MaxEpochs: *maxEpochs, Seed: *seed, Progress: progress,
+		StopError: *stopError, MaxEpochs: *maxEpochs, Seed: *seed, Jobs: *jobs, Progress: progress,
 	}
 
 	if *sweep {
@@ -81,7 +83,7 @@ func run() error {
 	cfg := ann.Config{Layers: []int{core.NumInputs, *hidden, core.NumCandidates}, Seed: *seed}
 	if *cv {
 		res, err := ann.CrossValidate(cfg, ds, 10, ann.TrainOptions{
-			MaxEpochs: *maxEpochs, DesiredError: *stopError,
+			MaxEpochs: *maxEpochs, DesiredError: *stopError, Jobs: *jobs,
 		})
 		if err != nil {
 			return err
@@ -98,7 +100,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	tr, err := net.Train(ds, ann.TrainOptions{MaxEpochs: *maxEpochs, DesiredError: *stopError})
+	tr, err := net.Train(ds, ann.TrainOptions{MaxEpochs: *maxEpochs, DesiredError: *stopError, Jobs: *jobs})
 	if err != nil {
 		return err
 	}

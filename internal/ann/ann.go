@@ -8,6 +8,14 @@
 // Querying a trained network is a single forward pass over a fixed set of
 // connections — constant time, no allocation — which is what gives ADAMANT
 // its bounded (sub-10-microsecond) configuration decisions.
+//
+// Internally every per-connection array (weights, gradients, RPROP state)
+// lives in one contiguous backing slice, laid out as one [input weights,
+// bias] row per output neuron so the forward pass walks memory linearly.
+// The text save format and seeded weight initialization keep the package's
+// historical [in][out] column order, so saved models and seeds remain
+// bit-compatible with earlier versions; see DESIGN.md ("Flat-weight ANN
+// kernels").
 package ann
 
 import (
@@ -20,6 +28,15 @@ import (
 	"os"
 	"strconv"
 	"strings"
+)
+
+// Size limits enforced by Validate (and therefore by Load): they keep a
+// malformed or hostile saved model from driving make() into a runtime
+// panic while allowing networks orders of magnitude larger than the
+// paper's 9-24-6 configurator.
+const (
+	maxLayerNeurons = 1 << 16
+	maxConnections  = 1 << 24
 )
 
 // Config describes a network shape.
@@ -48,29 +65,58 @@ func (c Config) Validate() error {
 		if n <= 0 {
 			return fmt.Errorf("ann: layer %d has %d neurons", i, n)
 		}
+		if n > maxLayerNeurons {
+			return fmt.Errorf("ann: layer %d has %d neurons (max %d)", i, n, maxLayerNeurons)
+		}
 	}
-	if c.Steepness < 0 {
-		return errors.New("ann: negative steepness")
+	var total int64
+	for l := 0; l < len(c.Layers)-1; l++ {
+		total += int64(c.Layers[l]+1) * int64(c.Layers[l+1])
+		if total > maxConnections {
+			return fmt.Errorf("ann: network exceeds %d connections", maxConnections)
+		}
+	}
+	if c.Steepness < 0 || math.IsNaN(c.Steepness) || math.IsInf(c.Steepness, 0) {
+		return errors.New("ann: invalid steepness")
 	}
 	return nil
 }
 
 // Network is a fully connected feed-forward net. Create with New or Load.
-// A Network is not safe for concurrent use.
+// A Network is not safe for concurrent use (Train coordinates its own
+// internal workers; see TrainOptions.Jobs).
 type Network struct {
 	layers    []int
 	steepness float64
-	// weights[l] connects layer l to l+1: (layers[l]+1) x layers[l+1]
-	// values, bias row last, laid out [in*outCount + out].
-	weights [][]float64
 
-	// Scratch buffers reused across Run calls (no allocation per query).
-	acts [][]float64
-	// Training scratch (allocated lazily).
-	deltas [][]float64
-	grads  [][]float64
-	prevG  [][]float64
-	stepSz [][]float64
+	// weights holds every connection in one contiguous array. Layer l's
+	// block spans woff[l]:woff[l+1] and contains layers[l+1] rows of
+	// layers[l]+1 values each: output neuron o's input weights in input
+	// order, then its bias, so Run streams both the row and the input
+	// activations sequentially.
+	weights []float64
+	woff    []int
+
+	// acts is the forward-pass scratch, all layers in one array; layer l
+	// spans aoff[l]:aoff[l]+layers[l]. Reused across Run calls.
+	acts []float64
+	aoff []int
+
+	// Training scratch (allocated lazily by ensureTrainScratch). deltas
+	// mirrors acts; grads/prevG/stepSz mirror weights.
+	deltas []float64
+	grads  []float64
+	prevG  []float64
+	stepSz []float64
+
+	// Parallel-gradient state (see epochGradient): per-shard gradient
+	// buffers, per-shard SSE, and per-worker forward/backward scratch.
+	shardGrads [][]float64
+	shardSSE   []float64
+	workers    []trainScratch
+
+	// batch is the RunBatch/AccuracyBatch activation tile, lazily sized.
+	batch []float64
 }
 
 // New builds a network with random weights in [-0.1, 0.1] (FANN-style
@@ -84,12 +130,22 @@ func New(cfg Config) (*Network, error) {
 		layers:    append([]int(nil), cfg.Layers...),
 		steepness: cfg.Steepness,
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	n.weights = make([][]float64, len(n.layers)-1)
+	n.woff = make([]int, len(n.layers))
+	total := 0
 	for l := 0; l < len(n.layers)-1; l++ {
-		n.weights[l] = make([]float64, (n.layers[l]+1)*n.layers[l+1])
-		for i := range n.weights[l] {
-			n.weights[l][i] = (rng.Float64()*2 - 1) * 0.1
+		n.woff[l] = total
+		total += (n.layers[l] + 1) * n.layers[l+1]
+	}
+	n.woff[len(n.layers)-1] = total
+	n.weights = make([]float64, total)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for l := 0; l < len(n.layers)-1; l++ {
+		inN, outN := n.layers[l], n.layers[l+1]
+		base, rl := n.woff[l], inN+1
+		// Draw in the historical [in][out] order so a given seed yields
+		// exactly the weights it always has.
+		for k := 0; k < rl*outN; k++ {
+			n.weights[base+oldOrderIndex(k, inN, outN)] = (rng.Float64()*2 - 1) * 0.1
 		}
 	}
 	n.initScratch()
@@ -97,26 +153,46 @@ func New(cfg Config) (*Network, error) {
 }
 
 func (n *Network) initScratch() {
-	n.acts = make([][]float64, len(n.layers))
+	n.aoff = make([]int, len(n.layers))
+	total := 0
 	for i, sz := range n.layers {
-		n.acts[i] = make([]float64, sz)
+		n.aoff[i] = total
+		total += sz
 	}
+	n.acts = make([]float64, total)
 }
 
 // Layers returns a copy of the layer sizes.
 func (n *Network) Layers() []int { return append([]int(nil), n.layers...) }
 
 // NumConnections returns the total connection count including biases.
-func (n *Network) NumConnections() int {
-	total := 0
-	for l := 0; l < len(n.layers)-1; l++ {
-		total += (n.layers[l] + 1) * n.layers[l+1]
-	}
-	return total
-}
+func (n *Network) NumConnections() int { return n.woff[len(n.layers)-1] }
 
 func (n *Network) sigmoid(x float64) float64 {
 	return 1 / (1 + math.Exp(-2*n.steepness*x))
+}
+
+// forward computes the forward pass into the given activation scratch
+// (laid out like n.acts) and returns the output-layer slice. Bit-for-bit
+// it performs the same additions in the same order as every earlier
+// version of this package: bias first, then inputs in ascending order.
+func (n *Network) forward(acts []float64, input []float64) []float64 {
+	copy(acts[:n.layers[0]], input)
+	for l := 0; l < len(n.layers)-1; l++ {
+		in := acts[n.aoff[l] : n.aoff[l]+n.layers[l]]
+		out := acts[n.aoff[l+1] : n.aoff[l+1]+n.layers[l+1]]
+		w := n.weights[n.woff[l]:n.woff[l+1]]
+		rl := len(in) + 1
+		for o := range out {
+			row := w[o*rl : o*rl+rl : o*rl+rl]
+			sum := row[len(in)] // bias
+			for i, v := range in {
+				sum += v * row[i]
+			}
+			out[o] = n.sigmoid(sum)
+		}
+	}
+	return acts[n.aoff[len(n.layers)-1]:]
 }
 
 // Run computes the forward pass. The returned slice aliases internal
@@ -125,20 +201,7 @@ func (n *Network) Run(input []float64) ([]float64, error) {
 	if len(input) != n.layers[0] {
 		return nil, fmt.Errorf("ann: input size %d, want %d", len(input), n.layers[0])
 	}
-	copy(n.acts[0], input)
-	for l := 0; l < len(n.layers)-1; l++ {
-		in, out := n.acts[l], n.acts[l+1]
-		w := n.weights[l]
-		outN := n.layers[l+1]
-		for o := 0; o < outN; o++ {
-			sum := w[len(in)*outN+o] // bias row
-			for i, v := range in {
-				sum += v * w[i*outN+o]
-			}
-			out[o] = n.sigmoid(sum)
-		}
-	}
-	return n.acts[len(n.acts)-1], nil
+	return n.forward(n.acts, input), nil
 }
 
 // Classify runs the input and returns the argmax output index.
@@ -166,10 +229,16 @@ type Dataset struct {
 	Targets [][]float64
 }
 
-// Add appends one sample (copied).
+// Add appends one sample. Input and target are copied together into a
+// single backing allocation.
 func (d *Dataset) Add(input, target []float64) {
-	d.Inputs = append(d.Inputs, append([]float64(nil), input...))
-	d.Targets = append(d.Targets, append([]float64(nil), target...))
+	buf := make([]float64, len(input)+len(target))
+	in := buf[:len(input):len(input)]
+	tg := buf[len(input):]
+	copy(in, input)
+	copy(tg, target)
+	d.Inputs = append(d.Inputs, in)
+	d.Targets = append(d.Targets, tg)
 }
 
 // Len returns the number of samples.
@@ -198,249 +267,12 @@ func OneHot(width, class int) []float64 {
 	return t
 }
 
-// Algorithm selects the training algorithm.
-type Algorithm int
-
-// Training algorithms.
-const (
-	// RPROP is batch iRPROP- (FANN's default training algorithm).
-	RPROP Algorithm = iota
-	// Incremental is classic online backpropagation with momentum.
-	Incremental
-)
-
-// TrainOptions tune Train.
-type TrainOptions struct {
-	// MaxEpochs bounds training. Default 5000.
-	MaxEpochs int
-	// DesiredError is the MSE stopping error (the paper uses 0.0001 for
-	// its best-performing configurations, 0.01 for the coarse ones).
-	DesiredError float64
-	// Algorithm selects RPROP (default) or Incremental.
-	Algorithm Algorithm
-	// LearningRate applies to Incremental. Default 0.7 (FANN default).
-	LearningRate float64
-	// Momentum applies to Incremental. Default 0.1.
-	Momentum float64
-}
-
-func (o *TrainOptions) fillDefaults() {
-	if o.MaxEpochs <= 0 {
-		o.MaxEpochs = 5000
-	}
-	if o.DesiredError <= 0 {
-		o.DesiredError = 1e-4
-	}
-	if o.LearningRate <= 0 {
-		o.LearningRate = 0.7
-	}
-	if o.Momentum < 0 {
-		o.Momentum = 0
-	} else if o.Momentum == 0 {
-		o.Momentum = 0.1
-	}
-}
-
-// TrainResult reports a training run.
-type TrainResult struct {
-	Epochs    int
-	MSE       float64
-	Converged bool // reached DesiredError before MaxEpochs
-}
-
-// Train fits the network to ds.
-func (n *Network) Train(ds *Dataset, opts TrainOptions) (TrainResult, error) {
-	opts.fillDefaults()
-	if ds.Len() == 0 {
-		return TrainResult{}, errors.New("ann: empty dataset")
-	}
-	for i := range ds.Inputs {
-		if len(ds.Inputs[i]) != n.layers[0] || len(ds.Targets[i]) != n.layers[len(n.layers)-1] {
-			return TrainResult{}, fmt.Errorf("ann: sample %d shape mismatch", i)
-		}
-	}
-	n.ensureTrainScratch()
-	var res TrainResult
-	for epoch := 1; epoch <= opts.MaxEpochs; epoch++ {
-		var mse float64
-		switch opts.Algorithm {
-		case RPROP:
-			mse = n.epochRPROP(ds)
-		case Incremental:
-			mse = n.epochIncremental(ds, opts.LearningRate, opts.Momentum)
-		default:
-			return res, fmt.Errorf("ann: unknown algorithm %d", opts.Algorithm)
-		}
-		res.Epochs = epoch
-		res.MSE = mse
-		if mse <= opts.DesiredError {
-			res.Converged = true
-			return res, nil
-		}
-	}
-	return res, nil
-}
-
-func (n *Network) ensureTrainScratch() {
-	if n.deltas != nil {
-		return
-	}
-	n.deltas = make([][]float64, len(n.layers))
-	for i, sz := range n.layers {
-		n.deltas[i] = make([]float64, sz)
-	}
-	n.grads = make([][]float64, len(n.weights))
-	n.prevG = make([][]float64, len(n.weights))
-	n.stepSz = make([][]float64, len(n.weights))
-	for l := range n.weights {
-		n.grads[l] = make([]float64, len(n.weights[l]))
-		n.prevG[l] = make([]float64, len(n.weights[l]))
-		n.stepSz[l] = make([]float64, len(n.weights[l]))
-		for i := range n.stepSz[l] {
-			n.stepSz[l][i] = 0.1 // RPROP delta0
-		}
-	}
-}
-
-// backprop runs one forward+backward pass accumulating gradients into
-// n.grads and returns the sample's summed squared error.
-func (n *Network) backprop(input, target []float64) float64 {
-	out, _ := n.Run(input)
-	last := len(n.layers) - 1
-	var sse float64
-	for o, v := range out {
-		err := target[o] - v
-		sse += err * err
-		// dE/dnet with sigmoid derivative (steepness-scaled).
-		n.deltas[last][o] = err * 2 * n.steepness * v * (1 - v)
-	}
-	for l := last - 1; l >= 1; l-- {
-		outN := n.layers[l+1]
-		w := n.weights[l]
-		for i := 0; i < n.layers[l]; i++ {
-			var sum float64
-			for o := 0; o < outN; o++ {
-				sum += n.deltas[l+1][o] * w[i*outN+o]
-			}
-			v := n.acts[l][i]
-			n.deltas[l][i] = sum * 2 * n.steepness * v * (1 - v)
-		}
-	}
-	for l := 0; l < len(n.weights); l++ {
-		outN := n.layers[l+1]
-		inN := n.layers[l]
-		g := n.grads[l]
-		for o := 0; o < outN; o++ {
-			d := n.deltas[l+1][o]
-			for i := 0; i < inN; i++ {
-				g[i*outN+o] += d * n.acts[l][i]
-			}
-			g[inN*outN+o] += d // bias
-		}
-	}
-	return sse
-}
-
-func (n *Network) epochRPROP(ds *Dataset) float64 {
-	for l := range n.grads {
-		clear(n.grads[l])
-	}
-	var sse float64
-	for s := range ds.Inputs {
-		sse += n.backprop(ds.Inputs[s], ds.Targets[s])
-	}
-	const (
-		etaPlus  = 1.2
-		etaMinus = 0.5
-		deltaMax = 50.0
-		deltaMin = 1e-6
-	)
-	for l := range n.weights {
-		w, g, pg, st := n.weights[l], n.grads[l], n.prevG[l], n.stepSz[l]
-		for i := range w {
-			sign := g[i] * pg[i]
-			switch {
-			case sign > 0:
-				st[i] = math.Min(st[i]*etaPlus, deltaMax)
-				w[i] += sgn(g[i]) * st[i]
-				pg[i] = g[i]
-			case sign < 0:
-				st[i] = math.Max(st[i]*etaMinus, deltaMin)
-				pg[i] = 0 // iRPROP-: skip update after a sign flip
-			default:
-				w[i] += sgn(g[i]) * st[i]
-				pg[i] = g[i]
-			}
-		}
-	}
-	return sse / float64(ds.Len()*n.layers[len(n.layers)-1])
-}
-
-func (n *Network) epochIncremental(ds *Dataset, rate, momentum float64) float64 {
-	var sse float64
-	for s := range ds.Inputs {
-		for l := range n.grads {
-			clear(n.grads[l])
-		}
-		sse += n.backprop(ds.Inputs[s], ds.Targets[s])
-		for l := range n.weights {
-			w, g, pg := n.weights[l], n.grads[l], n.prevG[l]
-			for i := range w {
-				step := rate*g[i] + momentum*pg[i]
-				w[i] += step
-				pg[i] = step
-			}
-		}
-	}
-	return sse / float64(ds.Len()*n.layers[len(n.layers)-1])
-}
-
-func sgn(x float64) float64 {
-	switch {
-	case x > 0:
-		return 1
-	case x < 0:
-		return -1
-	}
-	return 0
-}
-
-// MSE returns the mean squared error over ds.
-func (n *Network) MSE(ds *Dataset) (float64, error) {
-	if ds.Len() == 0 {
-		return 0, errors.New("ann: empty dataset")
-	}
-	var sse float64
-	for s := range ds.Inputs {
-		out, err := n.Run(ds.Inputs[s])
-		if err != nil {
-			return 0, err
-		}
-		for o, v := range out {
-			e := ds.Targets[s][o] - v
-			sse += e * e
-		}
-	}
-	return sse / float64(ds.Len()*n.layers[len(n.layers)-1]), nil
-}
-
-// Accuracy returns the fraction of samples whose Classify matches the
-// target argmax.
-func (n *Network) Accuracy(ds *Dataset) (float64, error) {
-	if ds.Len() == 0 {
-		return 0, errors.New("ann: empty dataset")
-	}
-	correct := 0
-	for s := range ds.Inputs {
-		got, err := n.Classify(ds.Inputs[s])
-		if err != nil {
-			return 0, err
-		}
-		if got == argmax(ds.Targets[s]) {
-			correct++
-		}
-	}
-	return float64(correct) / float64(ds.Len()), nil
+// oldOrderIndex maps index k of the historical [in][out] column-major
+// weight layout (bias row last) onto the flat [out][in+bias] row layout,
+// for a layer with inN inputs and outN outputs. Save, Load, and New use
+// it so the text format and seeded initialization never change.
+func oldOrderIndex(k, inN, outN int) int {
+	return (k%outN)*(inN+1) + k/outN
 }
 
 // Save writes the network in the text format read by Load.
@@ -453,9 +285,12 @@ func (n *Network) Save(w io.Writer) error {
 		fmt.Fprintf(bw, " %d", sz)
 	}
 	fmt.Fprintln(bw)
-	for l, ws := range n.weights {
+	for l := 0; l < len(n.layers)-1; l++ {
+		inN, outN := n.layers[l], n.layers[l+1]
+		base := n.woff[l]
 		fmt.Fprintf(bw, "weights %d", l)
-		for _, v := range ws {
+		for k := 0; k < (inN+1)*outN; k++ {
+			v := n.weights[base+oldOrderIndex(k, inN, outN)]
 			fmt.Fprintf(bw, " %s", strconv.FormatFloat(v, 'g', -1, 64))
 		}
 		fmt.Fprintln(bw)
@@ -476,7 +311,9 @@ func (n *Network) SaveFile(path string) error {
 	return f.Close()
 }
 
-// Load reads a network saved by Save.
+// Load reads a network saved by Save. Malformed input returns an error
+// (never panics); shape limits are enforced by Config.Validate before any
+// large allocation happens.
 func Load(r io.Reader) (*Network, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
@@ -530,17 +367,19 @@ func Load(r io.Reader) (*Network, error) {
 			return nil, err
 		}
 		fields := strings.Fields(wl)
-		want := (layers[l]+1)*layers[l+1] + 2
+		inN, outN := layers[l], layers[l+1]
+		want := (inN+1)*outN + 2
 		if len(fields) != want || fields[0] != "weights" || fields[1] != strconv.Itoa(l) {
 			return nil, fmt.Errorf("ann: bad weights line for layer %d (%d fields, want %d)",
 				l, len(fields), want)
 		}
-		for i, f := range fields[2:] {
+		base := n.woff[l]
+		for k, f := range fields[2:] {
 			v, err := strconv.ParseFloat(f, 64)
 			if err != nil {
 				return nil, fmt.Errorf("ann: bad weight %q: %w", f, err)
 			}
-			n.weights[l][i] = v
+			n.weights[base+oldOrderIndex(k, inN, outN)] = v
 		}
 	}
 	return n, nil

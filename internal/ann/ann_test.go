@@ -478,6 +478,25 @@ func BenchmarkRun9x24x6(b *testing.B) {
 	}
 }
 
+// BenchmarkRunBatch9x24x6 evaluates a whole 100-sample batch per
+// iteration through the tiled kernel; compare per-sample cost against
+// BenchmarkRun9x24x6.
+func BenchmarkRunBatch9x24x6(b *testing.B) {
+	ds := randomDataset(9, 6, 100, 1)
+	n, err := New(Config{Layers: []int{9, 24, 6}, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	classes := make([]int, ds.Len())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := n.ClassifyBatch(ds.Inputs, classes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkTrainEpochRPROP(b *testing.B) {
 	ds := randomDataset(9, 6, 100, 1)
 	n, err := New(Config{Layers: []int{9, 24, 6}, Seed: 1})

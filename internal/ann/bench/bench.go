@@ -1,0 +1,209 @@
+// Package bench measures ANN inference latency distributions.
+//
+// The paper's central quantitative claim (Sect. 5.3) is that the ANN
+// knowledge base selects a transport in bounded, sub-10 µs time. Survey
+// work on DDS performance (Peeroo et al.) stresses that tail latency —
+// not the mean — is what bounds a DRE system's admission decisions, so
+// this package reports full per-query distributions (p50/p90/p99/p99.9/
+// max) measured with a warm cache, the GC pinned, and allocation-free
+// queries, rather than a single averaged number.
+package bench
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"time"
+
+	"adamant/internal/ann"
+	"adamant/internal/metrics"
+)
+
+// Options tune a latency measurement run.
+type Options struct {
+	// Queries is the number of timed Classify calls. Default 100000.
+	Queries int
+	// Warmup is the number of untimed calls run first so caches, branch
+	// predictors, and lazily-grown scratch are hot. Default 2000.
+	Warmup int
+	// KeepGC leaves the garbage collector enabled during the timed
+	// region. By default the GC is disabled (and a collection forced
+	// beforehand) so queries measure the kernel, not collector noise;
+	// Classify itself is allocation-free either way.
+	KeepGC bool
+}
+
+func (o *Options) fillDefaults() {
+	if o.Queries <= 0 {
+		o.Queries = 100000
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = 2000
+	}
+}
+
+// Distribution summarizes a latency sample set in microseconds.
+type Distribution struct {
+	Queries  int     `json:"queries"`
+	MeanUs   float64 `json:"mean_us"`
+	StdDevUs float64 `json:"stddev_us"`
+	MinUs    float64 `json:"min_us"`
+	P50Us    float64 `json:"p50_us"`
+	P90Us    float64 `json:"p90_us"`
+	P99Us    float64 `json:"p99_us"`
+	P999Us   float64 `json:"p999_us"`
+	MaxUs    float64 `json:"max_us"`
+}
+
+// Scale returns the distribution with every latency multiplied by f —
+// used to project measurements onto slower emulated hosts the same way
+// the netem platform profiles scale transport timings.
+func (d Distribution) Scale(f float64) Distribution {
+	s := d
+	s.MeanUs *= f
+	s.StdDevUs *= f
+	s.MinUs *= f
+	s.P50Us *= f
+	s.P90Us *= f
+	s.P99Us *= f
+	s.P999Us *= f
+	s.MaxUs *= f
+	return s
+}
+
+// nearest-rank quantile over an ascending sample set.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(q*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// MeasureClassify times individual Classify calls against the given
+// inputs (cycled round-robin) and returns the latency distribution.
+func MeasureClassify(net *ann.Network, inputs [][]float64, opts Options) (Distribution, error) {
+	opts.fillDefaults()
+	if len(inputs) == 0 {
+		return Distribution{}, errors.New("bench: no inputs")
+	}
+	// Validate up front so the timed loop can't error.
+	for i, in := range inputs {
+		if _, err := net.Classify(in); err != nil {
+			return Distribution{}, fmt.Errorf("bench: input %d: %w", i, err)
+		}
+	}
+	samples := make([]float64, opts.Queries)
+	for i := 0; i < opts.Warmup; i++ {
+		net.Classify(inputs[i%len(inputs)]) //nolint:errcheck // validated above
+	}
+	if !opts.KeepGC {
+		runtime.GC()
+		defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	}
+	for i := range samples {
+		in := inputs[i%len(inputs)]
+		start := time.Now()
+		net.Classify(in) //nolint:errcheck // validated above
+		samples[i] = float64(time.Since(start).Nanoseconds()) / 1e3
+	}
+	var w metrics.Welford
+	for _, v := range samples {
+		w.Add(v)
+	}
+	sort.Float64s(samples)
+	return Distribution{
+		Queries:  opts.Queries,
+		MeanUs:   w.Mean(),
+		StdDevUs: w.StdDev(),
+		MinUs:    samples[0],
+		P50Us:    quantile(samples, 0.50),
+		P90Us:    quantile(samples, 0.90),
+		P99Us:    quantile(samples, 0.99),
+		P999Us:   quantile(samples, 0.999),
+		MaxUs:    samples[len(samples)-1],
+	}, nil
+}
+
+// CVTiming compares serial and parallel k-fold cross-validation
+// wall-clock time for the same configuration.
+type CVTiming struct {
+	Folds        int     `json:"folds"`
+	SerialMs     float64 `json:"serial_ms"`
+	ParallelMs   float64 `json:"parallel_ms"`
+	ParallelJobs int     `json:"parallel_jobs"`
+	Speedup      float64 `json:"speedup"`
+}
+
+// MeasureCV runs CrossValidate once serially and once with parallelJobs
+// workers and reports both wall-clock times. It also verifies the two
+// runs agree fold-for-fold, failing loudly if determinism broke.
+func MeasureCV(cfg ann.Config, ds *ann.Dataset, k int, opts ann.TrainOptions, parallelJobs int) (CVTiming, error) {
+	serialOpts := opts
+	serialOpts.Jobs = 1
+	start := time.Now()
+	serial, err := ann.CrossValidate(cfg, ds, k, serialOpts)
+	if err != nil {
+		return CVTiming{}, err
+	}
+	serialDur := time.Since(start)
+
+	parOpts := opts
+	parOpts.Jobs = parallelJobs
+	start = time.Now()
+	par, err := ann.CrossValidate(cfg, ds, k, parOpts)
+	if err != nil {
+		return CVTiming{}, err
+	}
+	parDur := time.Since(start)
+
+	for f := range serial.FoldAccuracy {
+		if serial.FoldAccuracy[f] != par.FoldAccuracy[f] {
+			return CVTiming{}, fmt.Errorf("bench: fold %d accuracy diverged between serial and %d-worker runs", f, parallelJobs)
+		}
+	}
+	return CVTiming{
+		Folds:        k,
+		SerialMs:     float64(serialDur.Nanoseconds()) / 1e6,
+		ParallelMs:   float64(parDur.Nanoseconds()) / 1e6,
+		ParallelJobs: parallelJobs,
+		Speedup:      float64(serialDur) / float64(parDur),
+	}, nil
+}
+
+// TrainedBytesIdentical trains one fresh network per worker count and
+// reports whether every serialized result is byte-identical — the
+// determinism invariant the shard reduction guarantees.
+func TrainedBytesIdentical(cfg ann.Config, ds *ann.Dataset, opts ann.TrainOptions, jobs []int) (bool, error) {
+	var ref []byte
+	for _, j := range jobs {
+		net, err := ann.New(cfg)
+		if err != nil {
+			return false, err
+		}
+		o := opts
+		o.Jobs = j
+		if _, err := net.Train(ds, o); err != nil {
+			return false, err
+		}
+		var buf bytes.Buffer
+		if err := net.Save(&buf); err != nil {
+			return false, err
+		}
+		if ref == nil {
+			ref = buf.Bytes()
+		} else if !bytes.Equal(ref, buf.Bytes()) {
+			return false, nil
+		}
+	}
+	return true, nil
+}

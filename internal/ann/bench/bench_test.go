@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"math/rand"
+	"testing"
+
+	"adamant/internal/ann"
+)
+
+func testNet(t *testing.T) (*ann.Network, *ann.Dataset) {
+	t.Helper()
+	net, err := ann.New(ann.Config{Layers: []int{5, 12, 3}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	ds := &ann.Dataset{}
+	for i := 0; i < 40; i++ {
+		in := make([]float64, 5)
+		for j := range in {
+			in[j] = rng.Float64()
+		}
+		ds.Add(in, ann.OneHot(3, i%3))
+	}
+	return net, ds
+}
+
+func TestMeasureClassify(t *testing.T) {
+	net, ds := testNet(t)
+	d, err := MeasureClassify(net, ds.Inputs, Options{Queries: 500, Warmup: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Queries != 500 {
+		t.Errorf("Queries = %d, want 500", d.Queries)
+	}
+	if d.MinUs < 0 || d.P50Us < d.MinUs || d.P99Us < d.P50Us || d.MaxUs < d.P999Us {
+		t.Errorf("distribution not monotone: %+v", d)
+	}
+	if d.MeanUs <= 0 || d.MaxUs <= 0 {
+		t.Errorf("non-positive latencies: %+v", d)
+	}
+}
+
+func TestMeasureClassifyValidates(t *testing.T) {
+	net, _ := testNet(t)
+	if _, err := MeasureClassify(net, nil, Options{}); err == nil {
+		t.Error("no inputs should error")
+	}
+	if _, err := MeasureClassify(net, [][]float64{{1}}, Options{}); err == nil {
+		t.Error("wrong input width should error")
+	}
+}
+
+func TestScale(t *testing.T) {
+	d := Distribution{MeanUs: 2, P50Us: 1, P99Us: 4, MaxUs: 8}
+	s := d.Scale(2.5)
+	if s.MeanUs != 5 || s.P50Us != 2.5 || s.P99Us != 10 || s.MaxUs != 20 {
+		t.Errorf("Scale(2.5) = %+v", s)
+	}
+	if d.MeanUs != 2 {
+		t.Error("Scale mutated the receiver")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := quantile(sorted, 0.5); got != 5 {
+		t.Errorf("p50 = %v, want 5", got)
+	}
+	if got := quantile(sorted, 0.99); got != 10 {
+		t.Errorf("p99 = %v, want 10", got)
+	}
+	if got := quantile(nil, 0.5); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+}
+
+func TestMeasureCVAndDeterminism(t *testing.T) {
+	_, ds := testNet(t)
+	cfg := ann.Config{Layers: []int{5, 8, 3}, Seed: 4}
+	opts := ann.TrainOptions{MaxEpochs: 15, DesiredError: 1e-9}
+	timing, err := MeasureCV(cfg, ds, 4, opts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if timing.Folds != 4 || timing.SerialMs <= 0 || timing.ParallelMs <= 0 || timing.Speedup <= 0 {
+		t.Errorf("implausible timing: %+v", timing)
+	}
+	ok, err := TrainedBytesIdentical(cfg, ds, opts, []int{1, 2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("trained weights differ across worker counts")
+	}
+}

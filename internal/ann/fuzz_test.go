@@ -1,0 +1,46 @@
+package ann
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLoad hardens the network text parser: malformed saved models must
+// produce an error, never a panic or an absurd allocation, and anything
+// Load accepts must survive a Save/Load round trip.
+func FuzzLoad(f *testing.F) {
+	net, err := New(Config{Layers: []int{3, 5, 2}, Seed: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var valid bytes.Buffer
+	if err := net.Save(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.String())
+	f.Add(valid.String()[:valid.Len()/2])
+	f.Add("")
+	f.Add("ADAMANT-ANN 1\n")
+	f.Add("ADAMANT-ANN 2\nlayers 2 2\n")
+	f.Add("ADAMANT-ANN 1\nlayers 99999999 99999999\nsteepness 0.5\n")
+	f.Add("ADAMANT-ANN 1\nlayers 2 2\nsteepness NaN\nw 0 0\nw 0 0\nw 0 0\nw 0 0\nw 0 0\nw 0 0\n")
+	f.Add("ADAMANT-ANN 1\nlayers 2\nsteepness 0.5\n")
+	f.Add("ADAMANT-ANN 1\nlayers -1 2\nsteepness 0.5\n")
+	f.Add("ADAMANT-ANN 1\nlayers 2 2\nsteepness 0.5\nw 1e309 0\n")
+	f.Add("layers 2 2\nsteepness 0.5\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		n, err := Load(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted input must serialize and re-load cleanly.
+		var buf bytes.Buffer
+		if err := n.Save(&buf); err != nil {
+			t.Fatalf("Save after successful Load: %v", err)
+		}
+		if _, err := Load(&buf); err != nil {
+			t.Fatalf("re-Load of Save output: %v", err)
+		}
+	})
+}

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 )
 
 // KFold partitions sample indices 0..n-1 into k shuffled, mutually
@@ -43,41 +45,93 @@ type CVResult struct {
 
 // CrossValidate trains one fresh network per fold (same Config, fold-
 // dependent seed) and evaluates held-out accuracy — the paper's
-// "environments unknown until runtime" methodology.
+// "environments unknown until runtime" methodology. Folds are independent
+// and run concurrently on up to opts.Jobs workers; because every fold's
+// network, seed, and training set are functions of the fold index alone,
+// the result is identical at any Jobs value.
 func CrossValidate(cfg Config, ds *Dataset, k int, opts TrainOptions) (CVResult, error) {
 	folds, err := KFold(ds.Len(), k, cfg.Seed)
 	if err != nil {
 		return CVResult{}, err
 	}
-	var res CVResult
-	for f, testIdx := range folds {
-		var trainIdx []int
+	opts.fillDefaults()
+	// One contiguous slab holds every fold's training indices: fold f
+	// trains on all samples except its own, so each view is n-len(fold f)
+	// indices carved out of the same allocation.
+	n := ds.Len()
+	slab := make([]int, 0, k*n-n)
+	trainIdx := make([][]int, k)
+	for f := range folds {
+		start := len(slab)
 		for g, fold := range folds {
 			if g != f {
-				trainIdx = append(trainIdx, fold...)
+				slab = append(slab, fold...)
 			}
 		}
+		trainIdx[f] = slab[start:len(slab):len(slab)]
+	}
+
+	type foldOut struct {
+		testAcc  float64
+		trainAcc float64
+		err      error
+	}
+	out := make([]foldOut, k)
+	runFold := func(f int, jobs int) {
 		foldCfg := cfg
 		foldCfg.Seed = cfg.Seed*1000 + int64(f)
 		net, err := New(foldCfg)
 		if err != nil {
-			return CVResult{}, err
+			out[f].err = err
+			return
 		}
-		trainSet := ds.Subset(trainIdx)
-		if _, err := net.Train(trainSet, opts); err != nil {
-			return CVResult{}, err
+		foldOpts := opts
+		foldOpts.Jobs = jobs
+		trainSet := ds.Subset(trainIdx[f])
+		if _, err := net.Train(trainSet, foldOpts); err != nil {
+			out[f].err = err
+			return
 		}
-		testAcc, err := net.Accuracy(ds.Subset(testIdx))
-		if err != nil {
-			return CVResult{}, err
+		if out[f].testAcc, err = net.Accuracy(ds.Subset(folds[f])); err != nil {
+			out[f].err = err
+			return
 		}
-		trainAcc, err := net.Accuracy(trainSet)
-		if err != nil {
-			return CVResult{}, err
+		out[f].trainAcc, out[f].err = net.Accuracy(trainSet)
+	}
+	if workers := min(opts.Jobs, k); workers <= 1 {
+		for f := 0; f < k; f++ {
+			runFold(f, opts.Jobs)
 		}
-		res.FoldAccuracy = append(res.FoldAccuracy, testAcc)
-		res.MeanAccuracy += testAcc / float64(k)
-		res.TrainAccuracy += trainAcc / float64(k)
+	} else {
+		// Folds are the coarser unit of work, so give each fold a serial
+		// trainer rather than oversubscribing with nested shard workers.
+		var next atomic.Int64
+		next.Store(-1)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					f := int(next.Add(1))
+					if f >= k {
+						return
+					}
+					runFold(f, 1)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	res := CVResult{FoldAccuracy: make([]float64, 0, k)}
+	for f := 0; f < k; f++ {
+		if out[f].err != nil {
+			return CVResult{}, out[f].err
+		}
+		res.FoldAccuracy = append(res.FoldAccuracy, out[f].testAcc)
+		res.MeanAccuracy += out[f].testAcc / float64(k)
+		res.TrainAccuracy += out[f].trainAcc / float64(k)
 	}
 	return res, nil
 }

@@ -1,0 +1,146 @@
+package ann
+
+import (
+	"bytes"
+	"testing"
+)
+
+// trainedBytes trains a fresh network with the given worker count and
+// returns its serialized weights.
+func trainedBytes(t *testing.T, ds *Dataset, jobs int) []byte {
+	t.Helper()
+	net, err := New(Config{Layers: []int{6, 16, 4}, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Train(ds, TrainOptions{MaxEpochs: 60, DesiredError: 1e-9, Jobs: jobs}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTrainParallelByteIdentical is the ISSUE's determinism contract:
+// trained weights must be byte-identical across -jobs 1/2/8. The dataset
+// spans several gradient shards so the parallel path is fully exercised.
+func TestTrainParallelByteIdentical(t *testing.T) {
+	ds := randomDataset(6, 4, 120, 42)
+	serial := trainedBytes(t, ds, 1)
+	for _, jobs := range []int{2, 8} {
+		if got := trainedBytes(t, ds, jobs); !bytes.Equal(got, serial) {
+			t.Errorf("jobs=%d produced different trained weights than jobs=1", jobs)
+		}
+	}
+}
+
+func TestCrossValidateParallelIdentical(t *testing.T) {
+	ds := randomDataset(5, 3, 90, 11)
+	cfg := Config{Layers: []int{5, 12, 3}, Seed: 3}
+	opts := TrainOptions{MaxEpochs: 40, DesiredError: 1e-9}
+	optsSerial := opts
+	optsSerial.Jobs = 1
+	serial, err := CrossValidate(cfg, ds, 6, optsSerial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optsPar := opts
+	optsPar.Jobs = 8
+	par, err := CrossValidate(cfg, ds, 6, optsPar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.FoldAccuracy) != len(par.FoldAccuracy) {
+		t.Fatalf("fold count: %d vs %d", len(serial.FoldAccuracy), len(par.FoldAccuracy))
+	}
+	for f := range serial.FoldAccuracy {
+		if serial.FoldAccuracy[f] != par.FoldAccuracy[f] {
+			t.Errorf("fold %d accuracy %v (serial) != %v (8 workers)", f, serial.FoldAccuracy[f], par.FoldAccuracy[f])
+		}
+	}
+	if serial.MeanAccuracy != par.MeanAccuracy || serial.TrainAccuracy != par.TrainAccuracy {
+		t.Errorf("aggregate accuracy mismatch: %+v vs %+v", serial, par)
+	}
+}
+
+func TestRunBatchMatchesRun(t *testing.T) {
+	ds := randomDataset(9, 6, 77, 5) // deliberately not a multiple of the tile width
+	net, err := New(Config{Layers: []int{9, 24, 6}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := net.RunBatch(ds.Inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != ds.Len() {
+		t.Fatalf("RunBatch returned %d outputs, want %d", len(outs), ds.Len())
+	}
+	for s, in := range ds.Inputs {
+		want, err := net.Run(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for o := range want {
+			if outs[s][o] != want[o] {
+				t.Fatalf("sample %d output %d: RunBatch %v != Run %v", s, o, outs[s][o], want[o])
+			}
+		}
+	}
+}
+
+func TestAccuracyBatchMatchesClassify(t *testing.T) {
+	ds := randomDataset(4, 3, 50, 9)
+	net, err := New(Config{Layers: []int{4, 10, 3}, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := net.AccuracyBatch(ds.Inputs, ds.Targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for s, in := range ds.Inputs {
+		cls, err := net.Classify(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cls == argmax(ds.Targets[s]) {
+			correct++
+		}
+	}
+	if want := float64(correct) / float64(ds.Len()); batch != want {
+		t.Errorf("AccuracyBatch = %v, per-sample Classify gives %v", batch, want)
+	}
+	classes := make([]int, ds.Len())
+	if err := net.ClassifyBatch(ds.Inputs, classes); err != nil {
+		t.Fatal(err)
+	}
+	for s, in := range ds.Inputs {
+		cls, _ := net.Classify(in)
+		if classes[s] != cls {
+			t.Fatalf("sample %d: ClassifyBatch %d != Classify %d", s, classes[s], cls)
+		}
+	}
+}
+
+func TestRunBatchShapeErrors(t *testing.T) {
+	net, err := New(Config{Layers: []int{3, 4, 2}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.RunBatch(nil); err == nil {
+		t.Error("RunBatch(nil) should error")
+	}
+	if _, err := net.RunBatch([][]float64{{1, 2}}); err == nil {
+		t.Error("RunBatch with wrong input width should error")
+	}
+	if _, err := net.AccuracyBatch([][]float64{{1, 2, 3}}, [][]float64{{1}}); err == nil {
+		t.Error("AccuracyBatch with wrong target width should error")
+	}
+	if _, err := net.AccuracyBatch([][]float64{{1, 2, 3}}, nil); err == nil {
+		t.Error("AccuracyBatch with missing targets should error")
+	}
+}

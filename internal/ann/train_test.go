@@ -1,0 +1,70 @@
+package ann
+
+import "testing"
+
+func TestMomentumSentinel(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want float64
+		desc string
+	}{
+		{0, 0.1, "zero value selects the FANN default"},
+		{-1, 0, "-1 means a true zero-momentum run"},
+		{-0.25, 0, "any negative value means zero momentum"},
+		{0.3, 0.3, "explicit positive value passes through"},
+	}
+	for _, c := range cases {
+		opts := TrainOptions{Momentum: c.in}
+		if got := opts.momentum(); got != c.want {
+			t.Errorf("Momentum=%v: resolved %v, want %v (%s)", c.in, got, c.want, c.desc)
+		}
+	}
+}
+
+// TestMomentumSentinelSurvivesFillDefaults guards the trap the sentinel
+// design avoids: fillDefaults must not resolve Momentum, otherwise
+// filling twice would turn an explicit -1 (zero momentum) into 0 and
+// then into the 0.1 default.
+func TestMomentumSentinelSurvivesFillDefaults(t *testing.T) {
+	opts := TrainOptions{Momentum: -1}
+	opts.fillDefaults()
+	opts.fillDefaults()
+	if opts.Momentum != -1 {
+		t.Fatalf("fillDefaults mutated Momentum to %v", opts.Momentum)
+	}
+	if got := opts.momentum(); got != 0 {
+		t.Fatalf("after double fillDefaults, momentum() = %v, want 0", got)
+	}
+}
+
+// TestZeroMomentumDiffersFromDefault verifies a zero-momentum run is
+// actually expressible: it must train differently from the 0.1 default.
+func TestZeroMomentumDiffersFromDefault(t *testing.T) {
+	ds := randomDataset(4, 2, 30, 17)
+	train := func(momentum float64) []float64 {
+		net, err := New(Config{Layers: []int{4, 8, 2}, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := TrainOptions{Algorithm: Incremental, MaxEpochs: 10, DesiredError: 1e-9, Momentum: momentum}
+		if _, err := net.Train(ds, opts); err != nil {
+			t.Fatal(err)
+		}
+		out, err := net.Run(ds.Inputs[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append([]float64(nil), out...)
+	}
+	def := train(0)
+	zero := train(-1)
+	same := true
+	for i := range def {
+		if def[i] != zero[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("Momentum=-1 trained identically to the default; zero momentum is not taking effect")
+	}
+}

@@ -26,6 +26,10 @@ type ANNOptions struct {
 	MaxEpochs int
 	// Seed drives weight init and fold shuffles.
 	Seed int64
+	// Jobs caps worker goroutines for the training grids and
+	// cross-validation folds; <= 0 means GOMAXPROCS. Results are
+	// identical at any Jobs value.
+	Jobs int
 	// Progress, when non-nil, receives status lines.
 	Progress func(format string, args ...any)
 }
@@ -70,26 +74,40 @@ func Figure18(rows []Row, opts ANNOptions) (Table, error) {
 		Header: []string{"hidden nodes", "runs at 100%", "mean accuracy %", "min accuracy %"},
 		Note:   "trained and tested on the same data; the best sizes reach 100%",
 	}
-	for _, h := range opts.HiddenSizes {
+	// The (hidden size × run) grid cells are independent trainings, so
+	// they fan out over the Runner pool; each cell trains serially
+	// (Jobs: 1) since the grid is the coarser unit of work. Per-cell
+	// accuracies land at their grid index and are aggregated in order
+	// afterward, so the table is identical at any worker count.
+	runs := opts.TrainsPerSize
+	cells := make([]float64, len(opts.HiddenSizes)*runs)
+	r := &Runner{Jobs: opts.Jobs}
+	err := r.ForEach(len(cells), func(i int) error {
+		h := opts.HiddenSizes[i/runs]
+		run := i % runs
+		net, err := ann.New(ann.Config{
+			Layers: []int{core.NumInputs, h, core.NumCandidates},
+			Seed:   opts.Seed + int64(h*1000+run),
+		})
+		if err != nil {
+			return err
+		}
+		if _, err := net.Train(ds, ann.TrainOptions{
+			MaxEpochs: opts.MaxEpochs, DesiredError: opts.StopError, Jobs: 1,
+		}); err != nil {
+			return err
+		}
+		cells[i], err = net.Accuracy(ds)
+		return err
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	for hi, h := range opts.HiddenSizes {
 		perfect := 0
 		var acc metrics.Welford
-		for run := 0; run < opts.TrainsPerSize; run++ {
-			net, err := ann.New(ann.Config{
-				Layers: []int{core.NumInputs, h, core.NumCandidates},
-				Seed:   opts.Seed + int64(h*1000+run),
-			})
-			if err != nil {
-				return Table{}, err
-			}
-			if _, err := net.Train(ds, ann.TrainOptions{
-				MaxEpochs: opts.MaxEpochs, DesiredError: opts.StopError,
-			}); err != nil {
-				return Table{}, err
-			}
-			a, err := net.Accuracy(ds)
-			if err != nil {
-				return Table{}, err
-			}
+		for run := 0; run < runs; run++ {
+			a := cells[hi*runs+run]
 			if a >= 1.0 {
 				perfect++
 			}
@@ -125,7 +143,7 @@ func Figure19(rows []Row, opts ANNOptions) (Table, error) {
 			Layers: []int{core.NumInputs, h, core.NumCandidates},
 			Seed:   opts.Seed + int64(h),
 		}, ds, opts.Folds, ann.TrainOptions{
-			MaxEpochs: opts.MaxEpochs, DesiredError: opts.StopError,
+			MaxEpochs: opts.MaxEpochs, DesiredError: opts.StopError, Jobs: opts.Jobs,
 		})
 		if err != nil {
 			return Table{}, err
@@ -177,7 +195,7 @@ func QueryTimings(rows []Row, experiments int, opts ANNOptions) ([]TimingResult,
 		return nil, err
 	}
 	if _, err := net.Train(ds, ann.TrainOptions{
-		MaxEpochs: opts.MaxEpochs, DesiredError: opts.StopError,
+		MaxEpochs: opts.MaxEpochs, DesiredError: opts.StopError, Jobs: opts.Jobs,
 	}); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,107 @@
+package experiment
+
+import (
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEach(t *testing.T) {
+	const n = 100
+	var hits [n]atomic.Int64
+	r := &Runner{Jobs: 8}
+	if err := r.ForEach(n, func(i int) error {
+		hits[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Errorf("index %d visited %d times, want exactly once", i, got)
+		}
+	}
+	if err := r.ForEach(0, func(int) error { t.Error("fn called for n=0"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachFirstErrorCancels(t *testing.T) {
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	r := &Runner{Jobs: 2}
+	err := r.ForEach(1000, func(i int) error {
+		calls.Add(1)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if c := calls.Load(); c >= 1000 {
+		t.Errorf("all %d indices ran despite early error", c)
+	}
+}
+
+func TestForEachProgressMonotonic(t *testing.T) {
+	var seen []int
+	r := &Runner{Jobs: 4, Progress: func(done, total int) {
+		if total != 50 {
+			t.Errorf("total = %d, want 50", total)
+		}
+		seen = append(seen, done) // Progress is serialized, so no lock needed
+	}}
+	if err := r.ForEach(50, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]int, 50)
+	for i := range want {
+		want[i] = i + 1
+	}
+	if !reflect.DeepEqual(seen, want) {
+		t.Errorf("progress sequence not monotonic 1..50: %v", seen)
+	}
+}
+
+// TestFigure18ParallelIdentical pins the Jobs-invariance of the training
+// grid: the rendered table must not depend on the worker count.
+func TestFigure18ParallelIdentical(t *testing.T) {
+	rows := syntheticRows(60)
+	serialOpts := fastANNOpts()
+	serialOpts.Jobs = 1
+	serial, err := Figure18(rows, serialOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parOpts := fastANNOpts()
+	parOpts.Jobs = 8
+	par, err := Figure18(rows, parOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Rows, par.Rows) {
+		t.Errorf("Figure 18 differs by worker count:\nserial: %v\n8 jobs: %v", serial.Rows, par.Rows)
+	}
+}
+
+func TestFigure19ParallelIdentical(t *testing.T) {
+	rows := syntheticRows(60)
+	serialOpts := fastANNOpts()
+	serialOpts.Jobs = 1
+	serial, err := Figure19(rows, serialOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parOpts := fastANNOpts()
+	parOpts.Jobs = 8
+	par, err := Figure19(rows, parOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Rows, par.Rows) {
+		t.Errorf("Figure 19 differs by worker count:\nserial: %v\n8 jobs: %v", serial.Rows, par.Rows)
+	}
+}

@@ -46,18 +46,34 @@ func (r *Runner) RunManyDetailed(configs []Config) ([]metrics.Summary, []NetRepo
 	total := len(configs)
 	sums := make([]metrics.Summary, total)
 	reports := make([]NetReport, total)
-	if total == 0 {
-		return sums, reports, nil
+	err := r.ForEach(total, func(i int) error {
+		s, rep, err := RunDetailed(configs[i])
+		if err != nil {
+			return fmt.Errorf("experiment: run %d of %d: %w", i+1, total, err)
+		}
+		sums[i], reports[i] = s, rep
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return sums, reports, nil
+}
+
+// ForEach invokes fn(i) for every i in [0, n) across the worker pool.
+// Indices are claimed by atomic increment, so fn observes each index
+// exactly once; fn must write results into caller-owned, index-disjoint
+// storage (no two calls share a slot). The first error cancels the
+// remaining queue (in-flight calls finish) and is returned. Progress, if
+// set, fires serially after each successful call.
+func (r *Runner) ForEach(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
 	}
 	workers := r.jobs()
-	if workers > total {
-		workers = total
+	if workers > n {
+		workers = n
 	}
-
-	// Workers claim the next unclaimed config by atomic increment; results
-	// land at the claimed index, so output order is input order no matter
-	// which worker finishes when. The first error cancels the context,
-	// which stops workers from claiming further configs.
 	ctx, cancel := context.WithCancelCause(context.Background())
 	defer cancel(nil)
 	var (
@@ -72,27 +88,22 @@ func (r *Runner) RunManyDetailed(configs []Config) ([]metrics.Summary, []NetRepo
 			defer wg.Done()
 			for {
 				i := int(atomic.AddInt64(&next, 1))
-				if i >= total || ctx.Err() != nil {
+				if i >= n || ctx.Err() != nil {
 					return
 				}
-				s, rep, err := RunDetailed(configs[i])
-				if err != nil {
-					cancel(fmt.Errorf("experiment: run %d of %d: %w", i+1, total, err))
+				if err := fn(i); err != nil {
+					cancel(err)
 					return
 				}
-				sums[i], reports[i] = s, rep
 				if r.Progress != nil {
 					mu.Lock()
 					done++
-					r.Progress(done, total)
+					r.Progress(done, n)
 					mu.Unlock()
 				}
 			}
 		}()
 	}
 	wg.Wait()
-	if err := context.Cause(ctx); err != nil {
-		return nil, nil, err
-	}
-	return sums, reports, nil
+	return context.Cause(ctx)
 }
