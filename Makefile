@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 race bench bench-ann check
+.PHONY: tier1 race bench bench-ann check fuzz-smoke chaos
 
 # tier1 is the gating check: vet, build, and the full test suite.
 tier1:
@@ -9,10 +9,27 @@ tier1:
 	$(GO) test ./...
 
 # race runs the concurrency-sensitive packages (the parallel experiment
-# engine, the parallel ANN trainer, the simulation kernel, and the
-# transports) under the race detector.
+# engine, the parallel ANN trainer, the simulation kernel, the transports
+# including the crucible matrix, the broker, membership, the chaos engine,
+# and the integration failure suite) under the race detector.
 race:
-	$(GO) test -race ./internal/experiment ./internal/ann/... ./internal/sim ./internal/transport/...
+	$(GO) test -race ./internal/experiment ./internal/ann/... ./internal/sim \
+		./internal/transport/... ./internal/broker ./internal/membership \
+		./internal/netem/... ./internal/integration
+
+# fuzz-smoke gives every fuzz target a short budget; CI runs this to keep
+# the corpora honest without burning minutes.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run NONE -fuzz FuzzDecode$$ -fuzztime $(FUZZTIME) ./internal/wire
+	$(GO) test -run NONE -fuzz FuzzParseSpec -fuzztime $(FUZZTIME) ./internal/transport
+	$(GO) test -run NONE -fuzz FuzzMatch -fuzztime $(FUZZTIME) ./internal/broker
+	$(GO) test -run NONE -fuzz FuzzLoad -fuzztime $(FUZZTIME) ./internal/ann
+	$(GO) test -run NONE -fuzz FuzzSchedule -fuzztime $(FUZZTIME) ./internal/netem/chaos
+
+# chaos runs the full transport crucible from the command line.
+chaos:
+	$(GO) run ./cmd/adamant-verify -chaos
 
 # bench runs the allocation-sensitive micro benchmarks with allocation
 # counters.

@@ -1,8 +1,14 @@
 // Command adamant-verify checks the simulator calibration against the paper's
 // qualitative targets (see DESIGN.md).
+//
+// With -chaos it instead runs the transport crucible: every registered
+// protocol through the chaos scenario library under invariant checkers,
+// each cell executed twice with byte-identical outcomes required (see
+// EXPERIMENTS.md for reproducing a failing cell from its printed line).
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -11,6 +17,8 @@ import (
 	"adamant/internal/experiment"
 	"adamant/internal/metrics"
 	"adamant/internal/netem"
+	"adamant/internal/netem/chaos"
+	"adamant/internal/transport/conformance"
 )
 
 const (
@@ -27,6 +35,15 @@ func mean(ss []metrics.Summary, f func(metrics.Summary) float64) float64 {
 }
 
 func main() {
+	chaosMode := flag.Bool("chaos", false, "run the transport crucible (chaos scenario matrix) instead of calibration")
+	jobs := flag.Int("jobs", 0, "worker pool width for the crucible matrix (0 = GOMAXPROCS)")
+	seeds := flag.Int("seeds", 2, "number of seeds per crucible cell (seeds 1..n)")
+	scenario := flag.String("scenario", "", "restrict the crucible to one scenario by name")
+	flag.Parse()
+	if *chaosMode {
+		os.Exit(runChaos(*jobs, *seeds, *scenario))
+	}
+
 	runs := 3
 	samples := 2000
 	fail := 0
@@ -156,4 +173,57 @@ func abs(x float64) float64 {
 		return -x
 	}
 	return x
+}
+
+// runChaos executes the crucible matrix and reports one line per cell.
+// Every cell runs twice with the same seed; a hash mismatch between the two
+// runs is a determinism failure. Returns the process exit code.
+func runChaos(jobs, seeds int, scenario string) int {
+	scenarios := chaos.Library()
+	if scenario != "" {
+		sc, ok := chaos.ByName(scenario)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown scenario %q; library:\n", scenario)
+			for _, s := range scenarios {
+				fmt.Fprintf(os.Stderr, "  %-16s %s\n", s.Name, s.Info)
+			}
+			return 2
+		}
+		scenarios = []chaos.Scenario{sc}
+	}
+	if seeds < 1 {
+		seeds = 1
+	}
+	seedList := make([]int64, seeds)
+	for i := range seedList {
+		seedList[i] = int64(i + 1)
+	}
+	specs := conformance.DefaultCrucibleSpecs()
+	cells := conformance.CrucibleCells(specs, scenarios, seedList)
+	fmt.Printf("chaos crucible: %d specs x %d scenarios x %d seeds = %d cells (each run twice)\n",
+		len(specs), len(scenarios), len(seedList), len(cells))
+
+	results := conformance.RunCrucibleMatrix(cells, jobs, nil)
+	failed := 0
+	for _, res := range results {
+		switch {
+		case res.Err != nil:
+			failed++
+			fmt.Printf("FAIL %-50s %v\n", res.Cell.Name(), res.Err)
+		case len(res.Failures) > 0:
+			failed++
+			fmt.Printf("FAIL %-50s hash=%.12s\n", res.Cell.Name(), res.Hash)
+			for _, f := range res.Failures {
+				fmt.Printf("     - %s\n", f)
+			}
+		default:
+			fmt.Printf("PASS %-50s hash=%.12s\n", res.Cell.Name(), res.Hash)
+		}
+	}
+	fmt.Printf("\n%d cells, %d failures\n", len(results), failed)
+	if failed > 0 {
+		fmt.Println("reproduce a cell from its line: see EXPERIMENTS.md, \"Reproducing a crucible failure\"")
+		return 1
+	}
+	return 0
 }

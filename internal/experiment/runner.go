@@ -77,7 +77,7 @@ func (r *Runner) ForEach(n int, fn func(i int) error) error {
 	ctx, cancel := context.WithCancelCause(context.Background())
 	defer cancel(nil)
 	var (
-		next int64 = -1
+		next int64      = -1
 		done int        // guarded by mu
 		mu   sync.Mutex // serializes Progress
 		wg   sync.WaitGroup

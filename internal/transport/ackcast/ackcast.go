@@ -33,11 +33,16 @@ const Props = transport.PropMulticast | transport.PropACKReliability |
 
 // Defaults for Options fields left zero.
 const (
-	DefaultWindow     = 64
-	DefaultRTO        = 50 * time.Millisecond
+	DefaultWindow = 64
+	DefaultRTO    = 50 * time.Millisecond
+	// DefaultHistory is the resync ring size in packets: how far behind a
+	// re-admitted receiver may be and still catch up from the sender
+	// rather than staying expelled (see onAck).
+	DefaultHistory    = 1 << 14
 	retransBurst      = 32
 	ackWork           = 2 * time.Microsecond
 	defaultBacklogCap = 1 << 16
+	holdbackCap       = 1 << 15
 	// maxStallRounds bounds consecutive no-progress RTO rounds before a
 	// receiver is declared dead and dropped from the window accounting.
 	maxStallRounds = 40
@@ -49,6 +54,9 @@ type Options struct {
 	Window int
 	// RTO is the retransmission timeout.
 	RTO time.Duration
+	// History is the sender-side resync ring size in packets. It bounds
+	// how far back a rejoining receiver can be served.
+	History int
 }
 
 func (o *Options) fillDefaults() {
@@ -57,6 +65,9 @@ func (o *Options) fillDefaults() {
 	}
 	if o.RTO <= 0 {
 		o.RTO = DefaultRTO
+	}
+	if o.History <= 0 {
+		o.History = DefaultHistory
 	}
 }
 
@@ -78,7 +89,10 @@ func ParseOptions(p transport.Params) (Options, error) {
 	if o.RTO, err = p.Duration("rto", DefaultRTO); err != nil {
 		return o, err
 	}
-	if o.Window <= 0 || o.RTO <= 0 {
+	if o.History, err = p.Int("history", DefaultHistory); err != nil {
+		return o, err
+	}
+	if o.Window <= 0 || o.RTO <= 0 || o.History <= 0 {
 		return o, fmt.Errorf("ackcast: non-positive option in %+v", o)
 	}
 	return o, nil
@@ -115,6 +129,7 @@ type Sender struct {
 	seq         uint64 // highest seq assigned
 	sent        uint64 // highest seq actually sent
 	store       map[uint64]storeEntry
+	hist        []histEntry // resync ring indexed by seq % History
 	backlog     [][]byte
 	cums        map[wire.NodeID]uint64 // per-receiver cumulative ACK
 	ids         []wire.NodeID          // cums keys in admission order: retransmits must not follow randomized map order, or replays diverge
@@ -126,6 +141,12 @@ type Sender struct {
 }
 
 type storeEntry struct {
+	sentAt  time.Time
+	payload []byte
+}
+
+type histEntry struct {
+	seq     uint64
 	sentAt  time.Time
 	payload []byte
 }
@@ -147,6 +168,7 @@ func NewSender(cfg transport.Config, opts Options) (*Sender, error) {
 		opts:  opts,
 		mux:   transport.NewMux(cfg.Endpoint),
 		store: make(map[uint64]storeEntry),
+		hist:  make([]histEntry, opts.History),
 		cums:  make(map[wire.NodeID]uint64),
 	}
 	for _, id := range cfg.Receivers() {
@@ -214,6 +236,7 @@ func (s *Sender) pump() {
 		s.sent++
 		now := s.cfg.Env.Now()
 		s.store[s.sent] = storeEntry{sentAt: now, payload: payload}
+		s.hist[s.sent%uint64(len(s.hist))] = histEntry{seq: s.sent, sentAt: now, payload: payload}
 		pkt := &wire.Packet{
 			Type:    wire.TypeData,
 			Src:     s.cfg.Endpoint.Local(),
@@ -270,7 +293,7 @@ func (s *Sender) fireRTO() {
 		cum := s.cums[id]
 		n := 0
 		for seq := cum + 1; seq <= s.sent && n < retransBurst; seq++ {
-			e, ok := s.store[seq]
+			e, ok := s.entryFor(seq)
 			if !ok {
 				continue
 			}
@@ -291,6 +314,19 @@ func (s *Sender) fireRTO() {
 	s.armRTO()
 }
 
+// entryFor finds a retransmittable copy of seq: the ACK-gated store first,
+// then the resync ring (for packets already acknowledged by the original
+// group but owed to a re-admitted receiver).
+func (s *Sender) entryFor(seq uint64) (storeEntry, bool) {
+	if e, ok := s.store[seq]; ok {
+		return e, true
+	}
+	if h := s.hist[seq%uint64(len(s.hist))]; h.seq == seq && seq != 0 {
+		return storeEntry{sentAt: h.sentAt, payload: h.payload}, true
+	}
+	return storeEntry{}, false
+}
+
 // onAck keeps working after Close so the final window drains.
 func (s *Sender) onAck(src wire.NodeID, pkt *wire.Packet) {
 	if pkt.Stream != s.cfg.Stream {
@@ -302,15 +338,27 @@ func (s *Sender) onAck(src wire.NodeID, pkt *wire.Packet) {
 	}
 	prev, known := s.cums[src]
 	if !known {
-		// Unknown source: either a late-learned receiver (dynamic
-		// membership) before any data, or one previously declared dead —
-		// in the latter case re-admitting it would wedge the window.
-		if s.sent > 0 {
-			return
+		// Unknown source: a late-learned receiver (dynamic membership) or
+		// one previously declared dead whose partition healed. Re-admit it
+		// only if the resync ring still holds everything it is missing —
+		// re-admitting an unservable receiver would wedge the window: its
+		// cum could never advance, so the stall detector would just expel
+		// it again.
+		if body.Cumulative > s.sent {
+			return // bogus: acknowledges the future
 		}
-		s.cums[src] = 0
+		if s.sent-body.Cumulative > uint64(len(s.hist)) {
+			return // too far behind the resync ring to ever catch up
+		}
+		s.cums[src] = body.Cumulative
 		s.ids = append(s.ids, src)
-		prev = 0
+		// Rebase the stall detector: the window minimum just dropped to
+		// the rejoiner's cum, and its catch-up progress (not the old
+		// group's) is what must now count as progress.
+		s.lastMin = s.minCum()
+		s.stallRounds = 0
+		s.armRTO() // the rejoiner is behind: start serving backfill
+		return
 	}
 	if body.Cumulative <= prev {
 		return
@@ -388,11 +436,16 @@ func (r *Receiver) onData(src wire.NodeID, pkt *wire.Packet) {
 		r.stats.Duplicates++
 		return
 	}
+	if len(r.buf) >= holdbackCap {
+		r.stats.OutOfWindow++
+		return
+	}
 	r.buf[pkt.Seq] = bufEntry{
 		sentAt:    pkt.SentAt,
 		payload:   r.arena.Copy(pkt.Payload),
 		recovered: pkt.Type == wire.TypeRetrans,
 	}
+	r.stats.NoteBuffered(len(r.buf))
 	for {
 		e, ok := r.buf[r.nextDeliver]
 		if !ok {

@@ -124,6 +124,7 @@ func (r *Receiver) onData(_ wire.NodeID, pkt *wire.Packet) {
 		return
 	}
 	r.seen[pkt.Seq] = true
+	r.stats.NoteBuffered(len(r.seen))
 	if len(r.seen) > DefaultWindow {
 		// Evict everything below the window behind the max-ish seq; a
 		// simple sweep is fine at this window size.

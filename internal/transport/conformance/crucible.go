@@ -1,0 +1,478 @@
+// crucible.go is the transport crucible: every registered protocol is run
+// through the chaos scenario library under one shared set of invariant
+// checkers. Where the base conformance battery asks "does the protocol work
+// on a calm network", the crucible asks "does it keep its advertised
+// guarantees while the network is actively hostile — and does it converge,
+// quiesce, and stay bounded afterwards".
+//
+// A crucible cell is (protocol spec, chaos scenario, seed). Executing a
+// cell builds a full stack per receiver — netem node, stream splitter,
+// heartbeat membership detector on the control stream, protocol receiver on
+// the data stream — scripts the scenario through chaos.Schedule, publishes
+// a fixed sample stream, and then drains the simulation to quiescence. The
+// invariants checked against the outcome:
+//
+//   - payload integrity: every delivered payload matches its sequence
+//     number's canonical bytes; SentAt survives so latency is plausible.
+//   - no duplicate delivery, ever, on any transport.
+//   - ordered transports deliver strictly increasing sequence numbers.
+//   - reliable transports (NAK or ACK reliability) converge to complete
+//     delivery on every receiver that ends the scenario connected; crashed
+//     receivers must actually have missed the tail.
+//   - best-effort transports stay within sanity floors and are perfect on
+//     the calm control scenario.
+//   - recovery state stays bounded (ReceiverStats.MaxBuffered) and the
+//     kernel fully quiesces after detectors close — a protocol that leaks
+//     timers or re-arms retransmissions forever fails the cell via the
+//     event limit.
+//   - membership: survivors evict crashed nodes; fully healed groups
+//     converge back to full views.
+//
+// Every cell is executed twice with the same seed and the two outcomes must
+// hash identically (sha256 over the canonical serialization of delivery
+// logs, stats, and membership views) — chaos runs are replayable by seed,
+// which is what makes a printed failing cell reproducible from its report
+// line alone (see EXPERIMENTS.md).
+package conformance
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"time"
+
+	"adamant/internal/env"
+	"adamant/internal/experiment"
+	"adamant/internal/membership"
+	"adamant/internal/netem"
+	"adamant/internal/netem/chaos"
+	"adamant/internal/sim"
+	"adamant/internal/transport"
+	"adamant/internal/transport/protocols"
+	"adamant/internal/wire"
+)
+
+// CrucibleScenario parameterizes one crucible cell.
+type CrucibleScenario struct {
+	Spec      transport.Spec
+	Chaos     chaos.Scenario
+	Receivers int
+	Samples   int
+	RateHz    float64
+	Seed      int64
+	// Settle is how long the simulation keeps running after the later of
+	// the publish window and the chaos horizon, before the final drain.
+	Settle time.Duration
+}
+
+func (cs *CrucibleScenario) fillDefaults() {
+	if cs.Receivers == 0 {
+		cs.Receivers = 4
+	}
+	if cs.Samples == 0 {
+		cs.Samples = 400
+	}
+	if cs.RateHz == 0 {
+		cs.RateHz = 100
+	}
+	if cs.Seed == 0 {
+		cs.Seed = 1
+	}
+	if cs.Settle == 0 {
+		cs.Settle = 3 * time.Second
+	}
+}
+
+// Name identifies the cell in reports: spec/scenario/seed.
+func (cs CrucibleScenario) Name() string {
+	return fmt.Sprintf("%s/%s/seed=%d", cs.Spec, cs.Chaos.Name, cs.Seed)
+}
+
+// CrucibleOutcome is everything the invariant checkers assert on.
+type CrucibleOutcome struct {
+	// Deliveries[i] is receiver i's delivery log in delivery order,
+	// complete through final quiescence (tail recovery included).
+	Deliveries [][]transport.Delivery
+	// Stats[i] is receiver i's protocol counters after quiescence.
+	Stats []transport.ReceiverStats
+	// Views[i] is receiver i's membership view at the end of the scenario
+	// (snapshotted before the detectors close, so LEAVEs from shutdown do
+	// not pollute it).
+	Views []membership.View
+	// IDs[i] is receiver i's node ID; SenderID is the publisher's.
+	IDs      []wire.NodeID
+	SenderID wire.NodeID
+	// Hash is the sha256 of the canonical outcome serialization. Two runs
+	// of the same cell must produce the same hash.
+	Hash string
+}
+
+// ExecuteCrucible runs one cell to full quiescence and returns the outcome.
+func ExecuteCrucible(cs CrucibleScenario) (CrucibleOutcome, error) {
+	cs.fillDefaults()
+	if err := cs.Chaos.Validate(); err != nil {
+		return CrucibleOutcome{}, err
+	}
+	kernel := sim.New(cs.Seed)
+	kernel.SetEventLimit(uint64(cs.Samples)*uint64(cs.Receivers)*1000 + 2_000_000)
+	e := env.NewSim(kernel)
+	network, err := netem.New(e, netem.Config{})
+	if err != nil {
+		return CrucibleOutcome{}, err
+	}
+	reg := protocols.MustRegistry()
+
+	senderNode := network.AddNode(netem.PC3000)
+	readerNodes := make([]*netem.Node, cs.Receivers)
+	ids := make([]wire.NodeID, cs.Receivers)
+	for i := range readerNodes {
+		readerNodes[i] = network.AddNode(netem.PC3000)
+		ids[i] = readerNodes[i].Local()
+	}
+
+	out := CrucibleOutcome{
+		Deliveries: make([][]transport.Delivery, cs.Receivers),
+		Stats:      make([]transport.ReceiverStats, cs.Receivers),
+		Views:      make([]membership.View, cs.Receivers),
+		IDs:        ids,
+		SenderID:   senderNode.Local(),
+	}
+
+	// Per-receiver stack: splitter so membership (control stream) and the
+	// protocol (stream 1) share the node, heartbeat detector, protocol
+	// receiver fed by the detector's live view.
+	detectors := make([]*membership.Detector, cs.Receivers)
+	instances := make([]transport.Receiver, cs.Receivers)
+	for i := range readerNodes {
+		i := i
+		split := transport.NewSplitter(readerNodes[i])
+		ctlMux := transport.NewMux(split.Route(wire.ControlStream))
+		det, err := membership.NewDetector(e, ctlMux, membership.DetectorOptions{
+			Interval:     50 * time.Millisecond,
+			SuspectAfter: 175 * time.Millisecond,
+		}, nil)
+		if err != nil {
+			return CrucibleOutcome{}, fmt.Errorf("detector %d: %w", i, err)
+		}
+		detectors[i] = det
+		r, err := reg.NewReceiver(cs.Spec, transport.Config{
+			Env:       e,
+			Endpoint:  split.Route(1),
+			Stream:    1,
+			SenderID:  senderNode.Local(),
+			Receivers: det.Receivers,
+			Deliver: func(d transport.Delivery) {
+				d.Payload = append([]byte(nil), d.Payload...)
+				out.Deliveries[i] = append(out.Deliveries[i], d)
+			},
+		})
+		if err != nil {
+			return CrucibleOutcome{}, fmt.Errorf("receiver %d: %w", i, err)
+		}
+		instances[i] = r
+	}
+	sender, err := reg.NewSender(cs.Spec, transport.Config{
+		Env: e, Endpoint: senderNode, Stream: 1,
+		Receivers: transport.StaticReceivers(ids...),
+	})
+	if err != nil {
+		return CrucibleOutcome{}, fmt.Errorf("sender: %w", err)
+	}
+
+	horizon, err := chaos.Schedule(e, chaos.Nodes{Sender: senderNode, Receivers: readerNodes}, cs.Chaos, chaos.Hooks{})
+	if err != nil {
+		return CrucibleOutcome{}, err
+	}
+
+	period := time.Duration(float64(time.Second) / cs.RateHz)
+	published := 0
+	var pubErr error
+	var tick func()
+	tick = func() {
+		if published >= cs.Samples {
+			pubErr = sender.Close()
+			return
+		}
+		published++
+		if err := sender.Publish(payloadFor(uint64(published))); err != nil {
+			pubErr = err
+			return
+		}
+		e.After(period, tick)
+	}
+	e.Post(tick)
+
+	total := time.Duration(cs.Samples) * period
+	if horizon > total {
+		total = horizon
+	}
+	total += cs.Settle
+	if err := kernel.RunFor(total); err != nil {
+		return CrucibleOutcome{}, err
+	}
+	if pubErr != nil {
+		return CrucibleOutcome{}, pubErr
+	}
+
+	// End-of-scenario membership, before shutdown LEAVEs rewrite it.
+	for i, det := range detectors {
+		out.Views[i] = det.View()
+	}
+	// Quiescence: detectors heartbeat forever by design, so close them,
+	// then the rest of the world must drain on its own — leaked timers or
+	// unbounded retransmission loops hit the event limit and fail here.
+	for i, det := range detectors {
+		if err := det.Close(); err != nil {
+			return CrucibleOutcome{}, fmt.Errorf("detector %d close: %w", i, err)
+		}
+	}
+	if err := kernel.Run(); err != nil {
+		return CrucibleOutcome{}, fmt.Errorf("drain after close: %w (protocol leaked timers or retransmits forever)", err)
+	}
+	if pending := kernel.Pending(); pending != 0 {
+		return CrucibleOutcome{}, fmt.Errorf("%d events still pending after drain", pending)
+	}
+	for i, r := range instances {
+		out.Stats[i] = r.Stats()
+		if err := r.Close(); err != nil {
+			return CrucibleOutcome{}, fmt.Errorf("receiver %d close: %w", i, err)
+		}
+	}
+	out.Hash = out.hash()
+	return out, nil
+}
+
+// hash serializes the outcome canonically and returns its sha256. Delivery
+// logs (sequence, timestamps, recovery flag, payload), final stats, and
+// membership views all participate: any behavioral divergence between two
+// runs of the same cell changes the hash.
+func (o *CrucibleOutcome) hash() string {
+	h := sha256.New()
+	for i, ds := range o.Deliveries {
+		fmt.Fprintf(h, "receiver %d id=%d\n", i, o.IDs[i])
+		for _, d := range ds {
+			fmt.Fprintf(h, "seq=%d sent=%d del=%d rec=%t pay=%x\n",
+				d.Seq, d.SentAt.UnixNano(), d.DeliveredAt.UnixNano(), d.Recovered, d.Payload)
+		}
+		fmt.Fprintf(h, "stats=%+v\n", o.Stats[i])
+		fmt.Fprintf(h, "view v%d members=%v\n", o.Views[i].Version, o.Views[i].Members)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// bestEffortFloorPct is the delivery floor for non-reliable transports on
+// faulty scenarios: even best-effort multicast must get at least this share
+// through to every receiver that ends the scenario connected, given that
+// every library scenario heals within the publish window.
+const bestEffortFloorPct = 50.0
+
+// CheckCrucible runs every invariant against one outcome and returns the
+// violations (nil when the cell is green).
+func CheckCrucible(cs CrucibleScenario, out CrucibleOutcome) []error {
+	cs.fillDefaults()
+	var errs []error
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+	factory, err := protocols.MustRegistry().Lookup(cs.Spec.Name)
+	if err != nil {
+		return []error{err}
+	}
+	reliable := factory.Props.Has(transport.PropNAKReliability) ||
+		factory.Props.Has(transport.PropACKReliability)
+	ordered := factory.Props.Has(transport.PropOrdered)
+	calm := len(cs.Chaos.Events) == 0
+	_, ends := cs.Chaos.EndState(cs.Receivers)
+
+	for i, ds := range out.Deliveries {
+		end := ends[i]
+		// Integrity, duplicates, ordering, timestamp sanity.
+		seen := make(map[uint64]bool, len(ds))
+		var lastSeq uint64
+		var lastAt time.Time
+		for j, d := range ds {
+			if d.Seq == 0 || d.Seq > uint64(cs.Samples) {
+				fail("receiver %d: delivered seq %d outside published range 1..%d", i, d.Seq, cs.Samples)
+				break
+			}
+			if seen[d.Seq] {
+				fail("receiver %d: seq %d delivered twice", i, d.Seq)
+				break
+			}
+			seen[d.Seq] = true
+			if !bytes.Equal(d.Payload, payloadFor(d.Seq)) {
+				fail("receiver %d: seq %d payload corrupted", i, d.Seq)
+				break
+			}
+			if lat := d.Latency(); lat <= 0 || lat > time.Minute {
+				fail("receiver %d: seq %d latency %v implausible", i, d.Seq, lat)
+				break
+			}
+			if d.DeliveredAt.Before(lastAt) {
+				fail("receiver %d: delivery %d went back in time (%v after %v)", i, j, d.DeliveredAt, lastAt)
+				break
+			}
+			lastAt = d.DeliveredAt
+			if ordered {
+				if d.Seq <= lastSeq {
+					fail("receiver %d: ordered transport delivered seq %d after %d", i, d.Seq, lastSeq)
+					break
+				}
+				lastSeq = d.Seq
+			}
+		}
+		if len(ds) > cs.Samples {
+			fail("receiver %d: %d deliveries for %d samples", i, len(ds), cs.Samples)
+		}
+
+		// Stats consistency: counters must agree with the log after the
+		// drain, and recovery state must have stayed bounded.
+		st := out.Stats[i]
+		if st.Delivered != uint64(len(ds)) {
+			fail("receiver %d: stats.Delivered=%d but log has %d", i, st.Delivered, len(ds))
+		}
+		if st.MaxBuffered > uint64(cs.Samples)+64 {
+			fail("receiver %d: recovery state peaked at %d buffered entries for a %d-sample stream (unbounded holdback)",
+				i, st.MaxBuffered, cs.Samples)
+		}
+
+		// Completeness by advertised property and end state.
+		switch {
+		case end.Crashed:
+			// A crashed receiver must actually have missed the tail.
+			if len(ds) >= cs.Samples {
+				fail("receiver %d: crashed mid-run yet delivered all %d samples (crash ineffective)", i, cs.Samples)
+			}
+		case end.Down():
+			// Partitioned-but-not-crashed at scenario end: no obligation.
+		case reliable:
+			if len(ds) != cs.Samples {
+				fail("receiver %d: reliable transport converged to %d/%d after heal", i, len(ds), cs.Samples)
+			}
+		case calm:
+			if len(ds) != cs.Samples {
+				fail("receiver %d: %d/%d on the calm control scenario", i, len(ds), cs.Samples)
+			}
+		default:
+			if pct := 100 * float64(len(ds)) / float64(cs.Samples); pct < bestEffortFloorPct {
+				fail("receiver %d: best-effort delivery %.1f%% below the %.0f%% floor", i, pct, bestEffortFloorPct)
+			}
+		}
+	}
+
+	// Membership: survivors must evict receivers that ended crashed, and a
+	// fully healed group must converge back to complete views. (The sender
+	// runs no detector, so views only ever contain receivers.)
+	anyDown := false
+	for _, end := range ends {
+		if end.Down() {
+			anyDown = true
+		}
+	}
+	for i := range out.Views {
+		if ends[i].Down() {
+			continue // a dead node's own view owes nothing
+		}
+		for j, end := range ends {
+			if end.Crashed {
+				if out.Views[i].Contains(out.IDs[j]) {
+					fail("receiver %d: still lists crashed receiver %d in its membership view", i, j)
+				}
+			} else if !anyDown || !end.Down() {
+				if !out.Views[i].Contains(out.IDs[j]) {
+					fail("receiver %d: healed receiver %d missing from its membership view", i, j)
+				}
+			}
+		}
+	}
+	return errs
+}
+
+// CrucibleResult is one cell's verdict from RunCrucibleMatrix.
+type CrucibleResult struct {
+	Cell CrucibleScenario
+	// Hash is the outcome hash of the first execution.
+	Hash string
+	// Failures lists invariant violations and replay divergence; empty
+	// means the cell is green. Err is set when the cell failed to execute
+	// at all (which is itself a crucible failure).
+	Failures []string
+	Err      error
+}
+
+// OK reports whether the cell passed completely.
+func (r CrucibleResult) OK() bool { return r.Err == nil && len(r.Failures) == 0 }
+
+// RunCell executes one cell twice with the same seed, demands byte-identical
+// outcomes, and checks every invariant.
+func RunCell(cs CrucibleScenario) CrucibleResult {
+	res := CrucibleResult{Cell: cs}
+	first, err := ExecuteCrucible(cs)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.Hash = first.Hash
+	second, err := ExecuteCrucible(cs)
+	if err != nil {
+		res.Err = fmt.Errorf("rerun: %w", err)
+		return res
+	}
+	if first.Hash != second.Hash {
+		res.Failures = append(res.Failures,
+			fmt.Sprintf("same-seed rerun diverged: %.12s != %.12s", first.Hash, second.Hash))
+	}
+	for _, e := range CheckCrucible(cs, first) {
+		res.Failures = append(res.Failures, e.Error())
+	}
+	return res
+}
+
+// DefaultCrucibleSpecs returns the canonical protocol matrix: one spec per
+// registered protocol, tuned the way the chaos scenarios expect (fast NAK
+// timers, a small ACK window so flow control actually engages).
+func DefaultCrucibleSpecs() []transport.Spec {
+	return []transport.Spec{
+		mustSpec("bemcast"),
+		mustSpec("nakcast(timeout=5ms)"),
+		mustSpec("ackcast(window=64,rto=20ms)"),
+		mustSpec("ricochet(c=3,r=4)"),
+	}
+}
+
+func mustSpec(s string) transport.Spec {
+	spec, err := transport.ParseSpec(s)
+	if err != nil {
+		panic(err)
+	}
+	return spec
+}
+
+// CrucibleCells builds the full spec x scenario x seed matrix.
+func CrucibleCells(specs []transport.Spec, scenarios []chaos.Scenario, seeds []int64) []CrucibleScenario {
+	cells := make([]CrucibleScenario, 0, len(specs)*len(scenarios)*len(seeds))
+	for _, spec := range specs {
+		for _, sc := range scenarios {
+			for _, seed := range seeds {
+				cells = append(cells, CrucibleScenario{Spec: spec, Chaos: sc, Seed: seed})
+			}
+		}
+	}
+	return cells
+}
+
+// RunCrucibleMatrix fans the cells out over a worker pool (jobs <= 0 means
+// GOMAXPROCS) and returns every cell's result in input order. Failing cells
+// do not abort the matrix: the caller gets the complete picture.
+func RunCrucibleMatrix(cells []CrucibleScenario, jobs int, progress func(done, total int)) []CrucibleResult {
+	results := make([]CrucibleResult, len(cells))
+	runner := &experiment.Runner{Jobs: jobs, Progress: progress}
+	// RunCell never returns an error through ForEach: execution failures
+	// are recorded in the cell's result instead.
+	_ = runner.ForEach(len(cells), func(i int) error {
+		results[i] = RunCell(cells[i])
+		return nil
+	})
+	return results
+}

@@ -1,0 +1,100 @@
+package conformance
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"adamant/internal/netem/chaos"
+)
+
+var update = flag.Bool("update", false, "rewrite the crucible golden hash file")
+
+const goldenHashFile = "testdata/crucible_hashes.txt"
+
+// goldenCells is the fixed sub-matrix whose outcome hashes are pinned in
+// testdata: every protocol through a calm run, a heavy partition, and
+// permanent crashes.
+func goldenCells() []CrucibleScenario {
+	return CrucibleCells(
+		DefaultCrucibleSpecs(),
+		[]chaos.Scenario{chaos.CalmControl(), chaos.SplitBrain(), chaos.Cascade()},
+		[]int64{1},
+	)
+}
+
+// TestCrucibleJobsDeterminism pins that the worker-pool width changes
+// wall-clock time only: the same cells run at -jobs 1 and -jobs 8 must
+// produce byte-identical outcome hashes, cell for cell.
+func TestCrucibleJobsDeterminism(t *testing.T) {
+	cells := CrucibleCells(
+		DefaultCrucibleSpecs(),
+		[]chaos.Scenario{chaos.SplitBrain(), chaos.Churn()},
+		[]int64{1},
+	)
+	serial := RunCrucibleMatrix(cells, 1, nil)
+	wide := RunCrucibleMatrix(cells, 8, nil)
+	for i := range cells {
+		if serial[i].Err != nil || wide[i].Err != nil {
+			t.Fatalf("%s: jobs=1 err=%v, jobs=8 err=%v", cells[i].Name(), serial[i].Err, wide[i].Err)
+		}
+		if serial[i].Hash != wide[i].Hash {
+			t.Errorf("%s: hash differs across worker widths: jobs=1 %.12s, jobs=8 %.12s",
+				cells[i].Name(), serial[i].Hash, wide[i].Hash)
+		}
+	}
+}
+
+// TestCrucibleGoldenHashes pins the exact outcome hash of a fixed cell
+// sub-matrix against testdata. Any behavioral drift in the simulator, the
+// netem fault knobs, the chaos engine, or a protocol implementation changes
+// a hash and fails here; run with -update after an intentional change.
+func TestCrucibleGoldenHashes(t *testing.T) {
+	cells := goldenCells()
+	var lines []string
+	got := make(map[string]string, len(cells))
+	for _, cs := range cells {
+		out, err := ExecuteCrucible(cs)
+		if err != nil {
+			t.Fatalf("%s: %v", cs.Name(), err)
+		}
+		got[cs.Name()] = out.Hash
+		lines = append(lines, fmt.Sprintf("%s %s", cs.Name(), out.Hash))
+	}
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenHashFile), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenHashFile, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d hashes to %s", len(lines), goldenHashFile)
+		return
+	}
+	data, err := os.ReadFile(goldenHashFile)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to generate): %v", err)
+	}
+	want := make(map[string]string)
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed golden line %q", line)
+		}
+		want[fields[0]] = fields[1]
+	}
+	if len(want) != len(got) {
+		t.Errorf("golden file has %d cells, matrix has %d (run with -update)", len(want), len(got))
+	}
+	for name, h := range got {
+		switch wantHash, ok := want[name]; {
+		case !ok:
+			t.Errorf("%s: no golden hash recorded (run with -update)", name)
+		case wantHash != h:
+			t.Errorf("%s: outcome drifted from golden: got %.16s, want %.16s", name, h, wantHash)
+		}
+	}
+}

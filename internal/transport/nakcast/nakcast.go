@@ -41,10 +41,27 @@ const (
 	// spends per data packet on sequencing and holdback bookkeeping (the
 	// ANT framework data path without Ricochet's XOR work).
 	DefaultProcCost    = 50 * time.Microsecond
-	maxRetransPerNak   = 256
 	retransWorkPerPkt  = 40 * time.Microsecond
 	nakBuildWork       = 30 * time.Microsecond
 	defaultHoldbackCap = 1 << 15
+
+	// retransBurst is how many retransmissions a NAK is served
+	// synchronously; anything beyond it is queued and paced. Small NAKs
+	// (ordinary loss recovery) behave exactly as before; only big
+	// backfills after a long partition take the paced path.
+	retransBurst = 64
+	// retransPace is the interval between paced retransmission bursts.
+	// Pacing turns the post-heal backfill from one egress-queue-flooding
+	// burst into a bounded trickle the NAK backoff can ride on.
+	retransPace = 2 * time.Millisecond
+	// maxRetransQueue bounds the sender's pending retransmission queue;
+	// excess requests are dropped and recovered by the receiver's next
+	// NAK retry.
+	maxRetransQueue = 1 << 14
+	// maxRetransScan bounds how many history slots one NAK may probe, so
+	// a malformed or hostile NAK range (e.g. 1..2^60) cannot stall the
+	// sender scanning sequence numbers it never published.
+	maxRetransScan = 1 << 16
 )
 
 // Options are NAKcast's tunables.
@@ -155,6 +172,19 @@ type Sender struct {
 	arena  transport.Arena
 	hbTmr  env.Timer
 	closed bool
+
+	// Paced retransmission state: backfill requests beyond the synchronous
+	// burst budget queue here (deduplicated per destination+seq) and drain
+	// retransBurst at a time every retransPace.
+	rtq     []retransReq
+	rtqSet  map[retransReq]bool
+	rtTimer env.Timer
+}
+
+// retransReq identifies one queued retransmission.
+type retransReq struct {
+	dst wire.NodeID
+	seq uint64
 }
 
 type histEntry struct {
@@ -172,10 +202,11 @@ func NewSender(cfg transport.Config, opts Options) (*Sender, error) {
 	}
 	opts.fillDefaults()
 	s := &Sender{
-		cfg:  cfg,
-		opts: opts,
-		mux:  transport.NewMux(cfg.Endpoint),
-		hist: make([]histEntry, opts.History),
+		cfg:    cfg,
+		opts:   opts,
+		mux:    transport.NewMux(cfg.Endpoint),
+		hist:   make([]histEntry, opts.History),
+		rtqSet: make(map[retransReq]bool),
 	}
 	s.mux.Handle(wire.TypeNak, s.onNak)
 	s.hbTmr = cfg.Env.After(opts.HBInterval, s.heartbeat)
@@ -248,7 +279,11 @@ func (s *Sender) sendHeartbeat(flags uint8) {
 
 // onNak serves retransmissions. It deliberately keeps working after Close:
 // Close ends publishing and heartbeats, but receivers may still be
-// recovering tail losses announced by the EOS heartbeat.
+// recovering tail losses announced by the EOS heartbeat. The first
+// retransBurst packets go out synchronously (ordinary loss recovery);
+// larger backfills — a healed partition NAKing hundreds of sequences at
+// once — queue and drain at retransPace so the sender cannot flood its own
+// egress queue into drop-tail losses the receiver must re-NAK.
 func (s *Sender) onNak(src wire.NodeID, pkt *wire.Packet) {
 	if pkt.Stream != s.cfg.Stream {
 		return
@@ -257,27 +292,78 @@ func (s *Sender) onNak(src wire.NodeID, pkt *wire.Packet) {
 	if err != nil {
 		return
 	}
-	sent := 0
+	sent, scanned := 0, 0
 	for _, r := range body.Ranges {
-		for seq := r.From; seq <= r.To && sent < maxRetransPerNak; seq++ {
+		hi := r.To
+		if hi > s.seq {
+			hi = s.seq // never scan past what was published
+		}
+		for seq := r.From; seq <= hi && scanned < maxRetransScan; seq++ {
+			scanned++
 			e := s.hist[seq%uint64(len(s.hist))]
-			if e.seq != seq || seq > s.seq || seq == 0 {
+			if e.seq != seq || seq == 0 {
 				continue // evicted from history or bogus
 			}
-			s.cfg.Endpoint.Work(retransWorkPerPkt)
-			retrans := &wire.Packet{
-				Type:    wire.TypeRetrans,
-				Src:     s.cfg.Endpoint.Local(),
-				Stream:  s.cfg.Stream,
-				Seq:     e.seq,
-				SentAt:  e.sentAt, // original publish time: latency stays end-to-end
-				Payload: e.payload,
+			if sent < retransBurst {
+				if !s.retransmit(src, e) {
+					return
+				}
+				sent++
+			} else {
+				s.enqueueRetrans(src, seq)
 			}
-			if err := s.cfg.Endpoint.Unicast(src, retrans); err != nil {
-				return
-			}
-			sent++
 		}
+	}
+}
+
+// retransmit unicasts one history entry to dst, charging the CPU cost. It
+// reports false on endpoint errors (unknown destination).
+func (s *Sender) retransmit(dst wire.NodeID, e histEntry) bool {
+	s.cfg.Endpoint.Work(retransWorkPerPkt)
+	retrans := &wire.Packet{
+		Type:    wire.TypeRetrans,
+		Src:     s.cfg.Endpoint.Local(),
+		Stream:  s.cfg.Stream,
+		Seq:     e.seq,
+		SentAt:  e.sentAt, // original publish time: latency stays end-to-end
+		Payload: e.payload,
+	}
+	return s.cfg.Endpoint.Unicast(dst, retrans) == nil
+}
+
+// enqueueRetrans adds a paced retransmission, deduplicating repeat
+// requests (NAK retries for a seq already queued) and dropping beyond the
+// queue bound — the receiver's next backoff retry re-requests anything
+// dropped here.
+func (s *Sender) enqueueRetrans(dst wire.NodeID, seq uint64) {
+	key := retransReq{dst: dst, seq: seq}
+	if s.rtqSet[key] || len(s.rtq) >= maxRetransQueue {
+		return
+	}
+	s.rtqSet[key] = true
+	s.rtq = append(s.rtq, key)
+	if s.rtTimer == nil {
+		s.rtTimer = s.cfg.Env.After(retransPace, s.fireRetrans)
+	}
+}
+
+// fireRetrans drains one pacing burst from the retransmission queue.
+func (s *Sender) fireRetrans() {
+	s.rtTimer = nil
+	n := 0
+	for len(s.rtq) > 0 && n < retransBurst {
+		key := s.rtq[0]
+		s.rtq = s.rtq[1:]
+		delete(s.rtqSet, key)
+		e := s.hist[key.seq%uint64(len(s.hist))]
+		if e.seq != key.seq {
+			continue // evicted while queued
+		}
+		s.retransmit(key.dst, e)
+		n++
+	}
+	if len(s.rtq) > 0 {
+		s.rtTimer = s.cfg.Env.After(retransPace, s.fireRetrans)
 	}
 }
 
@@ -382,6 +468,7 @@ func (r *Receiver) onData(src wire.NodeID, pkt *wire.Packet) {
 	}
 	delete(r.missing, seq)
 	r.noteHigh(seq, true)
+	r.stats.NoteBuffered(len(r.buf) + len(r.missing) + len(r.abandoned))
 	r.drain()
 }
 
@@ -438,6 +525,7 @@ func (r *Receiver) noteHigh(seq uint64, receivedHigh bool) {
 		r.missing[m] = &missState{due: due}
 	}
 	r.maxSeen = seq
+	r.stats.NoteBuffered(len(r.buf) + len(r.missing) + len(r.abandoned))
 	r.armNakTimer()
 }
 
@@ -543,6 +631,16 @@ func (r *Receiver) drain() {
 			for s := range r.seen {
 				if s+defaultHoldbackCap < r.maxSeen {
 					delete(r.seen, s)
+				}
+			}
+		}
+		// Ordered mode prunes abandoned seqs as the delivery cursor passes
+		// them; unordered mode has no cursor, so age them out here or the
+		// set grows without bound on long streams.
+		if len(r.abandoned) > defaultHoldbackCap {
+			for s := range r.abandoned {
+				if s+defaultHoldbackCap < r.maxSeen {
+					delete(r.abandoned, s)
 				}
 			}
 		}

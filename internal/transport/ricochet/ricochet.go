@@ -516,6 +516,7 @@ func (r *Receiver) decodePending() {
 
 func (r *Receiver) store(pkt *wire.Packet) {
 	r.window[pkt.Seq] = pkt
+	r.stats.NoteBuffered(len(r.window) + len(r.pending))
 	if len(r.window) > r.opts.Window {
 		r.evict()
 	}

@@ -105,6 +105,19 @@ type ReceiverStats struct {
 	RepairsUseless uint64 // Ricochet: repairs that could not decode
 	Abandoned      uint64 // samples given up as unrecoverable
 	OutOfWindow    uint64 // packets below the receive window
+	// MaxBuffered is the high-water mark of the receiver's recovery state
+	// (holdback buffers, gap trackers, decode windows, pending repairs) in
+	// entries. The chaos crucible asserts it stays bounded by the stream
+	// length: repair state that outgrows the data it repairs is a leak.
+	MaxBuffered uint64
+}
+
+// NoteBuffered records a new recovery-state size observation, keeping the
+// MaxBuffered high-water mark.
+func (s *ReceiverStats) NoteBuffered(n int) {
+	if uint64(n) > s.MaxBuffered {
+		s.MaxBuffered = uint64(n)
+	}
 }
 
 // Properties is the bitset of transport properties a protocol supports,
@@ -282,6 +295,11 @@ func ParseSpec(s string) (Spec, error) {
 	name := s[:open]
 	if name == "" {
 		return Spec{}, fmt.Errorf("transport: malformed spec %q: empty name", s)
+	}
+	// The same character restriction as the paren-less path, so every
+	// accepted spec's canonical String() re-parses.
+	if strings.ContainsAny(name, ")=,") {
+		return Spec{}, fmt.Errorf("transport: malformed spec %q", s)
 	}
 	inner := s[open+1 : len(s)-1]
 	params := Params{}
