@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 race bench bench-ann check fuzz-smoke chaos
+.PHONY: tier1 race bench bench-ann bench-sim check fuzz-smoke chaos
 
 # tier1 is the gating check: vet, build, and the full test suite.
 tier1:
@@ -13,7 +13,7 @@ tier1:
 # including the crucible matrix, the broker, membership, the chaos engine,
 # and the integration failure suite) under the race detector.
 race:
-	$(GO) test -race ./internal/experiment ./internal/ann/... ./internal/sim \
+	$(GO) test -race ./internal/experiment ./internal/ann/... ./internal/sim/... \
 		./internal/transport/... ./internal/broker ./internal/membership \
 		./internal/netem/... ./internal/integration
 
@@ -26,6 +26,7 @@ fuzz-smoke:
 	$(GO) test -run NONE -fuzz FuzzMatch -fuzztime $(FUZZTIME) ./internal/broker
 	$(GO) test -run NONE -fuzz FuzzLoad -fuzztime $(FUZZTIME) ./internal/ann
 	$(GO) test -run NONE -fuzz FuzzSchedule -fuzztime $(FUZZTIME) ./internal/netem/chaos
+	$(GO) test -run NONE -fuzz FuzzKernelOrder -fuzztime $(FUZZTIME) ./internal/sim
 
 # chaos runs the full transport crucible from the command line.
 chaos:
@@ -44,5 +45,13 @@ bench-ann:
 	$(GO) test -bench 'BenchmarkRun|BenchmarkTrainEpoch' -benchmem -run NONE ./internal/ann/
 	$(GO) test -bench 'BenchmarkANN' -benchmem -benchtime 100x -run NONE .
 	$(GO) run ./cmd/adamant-bench -ann -dataset data/training.csv -out BENCH_ann.json
+
+# bench-sim asserts the zero-alloc scheduler hot paths (-benchmem) and
+# regenerates BENCH_sim.json, the event-core throughput report comparing
+# the wheel+heap scheduler against the container/heap baseline.
+bench-sim:
+	$(GO) test -bench 'BenchmarkSchedule' -benchmem -run NONE ./internal/sim/
+	$(GO) test -bench . -benchmem -benchtime 2x -run NONE ./internal/sim/bench/
+	$(GO) run ./cmd/adamant-bench -sim -out BENCH_sim.json
 
 check: tier1 race

@@ -13,6 +13,7 @@
 //	adamant-bench -fig 19 -dataset data/training.csv
 //	adamant-bench -fig 5 -samples 20000 -runs 5   # paper-scale workload
 //	adamant-bench -ann -dataset data/training.csv -out BENCH_ann.json
+//	adamant-bench -sim                # event-core throughput, BENCH_sim.json
 package main
 
 import (
@@ -38,13 +39,32 @@ func main() {
 		ablations = flag.Bool("ablations", false, "also run the design-choice ablation studies (A1-A5)")
 		jobs      = flag.Int("jobs", 0, "parallel workers (0 = all CPUs)")
 		annBench  = flag.Bool("ann", false, "run the ANN inference-latency harness and emit a JSON report")
-		outPath   = flag.String("out", "BENCH_ann.json", "output path for the -ann JSON report")
+		simBench  = flag.Bool("sim", false, "run the sim-kernel throughput harness and emit a JSON report")
+		outPath   = flag.String("out", "", "JSON report path (default BENCH_ann.json for -ann, BENCH_sim.json for -sim)")
 		queries   = flag.Int("queries", 100000, "timed Classify calls for the -ann harness")
+		events    = flag.Uint64("events", 2_000_000, "minimum events per measurement for the -sim harness")
 		verbose   = flag.Bool("v", false, "progress logging")
 	)
 	flag.Parse()
+	if *simBench {
+		out := *outPath
+		if out == "" {
+			out = "BENCH_sim.json"
+		}
+		if err := runSimBench(out, *events, *verbose); err != nil {
+			fmt.Fprintln(os.Stderr, "adamant-bench:", err)
+			os.Exit(1)
+		}
+		if *figFlag == "" && !*all && !*ablations && !*annBench {
+			return
+		}
+	}
 	if *annBench {
-		if err := runANNBench(*dataset, *combos, *outPath, *queries, *seed, *jobs, *verbose); err != nil {
+		out := *outPath
+		if out == "" {
+			out = "BENCH_ann.json"
+		}
+		if err := runANNBench(*dataset, *combos, out, *queries, *seed, *jobs, *verbose); err != nil {
 			fmt.Fprintln(os.Stderr, "adamant-bench:", err)
 			os.Exit(1)
 		}

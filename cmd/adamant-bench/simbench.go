@@ -1,0 +1,99 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"adamant/internal/sim/bench"
+)
+
+// simReport is the schema of BENCH_sim.json: the event-core throughput
+// trajectory. Every cell pairs the wheel+heap scheduler against the
+// pre-overhaul container/heap baseline on the same deterministic workload,
+// so the speedup column is like-for-like.
+type simReport struct {
+	GeneratedBy string `json:"generated_by"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	CPUs        int    `json:"cpus"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+
+	// EventsPerCell is the minimum events fired per measurement (deeper
+	// sweep cells fire more so the queue can fill and drain).
+	EventsPerCell uint64 `json:"events_per_cell"`
+
+	// QueueSweep holds steady-state churn at fixed pending-set depths.
+	QueueSweep []bench.SweepPoint `json:"queue_sweep"`
+
+	// HopMix is the netem-shaped workload: arrival -> CPU-done -> next-send
+	// chains plus cancel-and-rearm protocol timers.
+	HopMix bench.Comparison `json:"hop_mix"`
+
+	// Netem runs the real emulator data path end to end on the current
+	// kernel (no baseline pairing: the emulator only targets one kernel).
+	Netem bench.Result `json:"netem_pump"`
+}
+
+// simSweepDepths covers 1e2-1e6 pending events, the range between an idle
+// transport pair and a full 1200-combo experiment fan-out.
+var simSweepDepths = []int{100, 1_000, 10_000, 100_000, 1_000_000}
+
+// runSimBench measures the kernel workloads and writes the JSON report.
+func runSimBench(outPath string, events uint64, verbose bool) error {
+	progress := func(string, ...any) {}
+	if verbose {
+		progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	rep := simReport{
+		GeneratedBy:   "adamant-bench -sim",
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		CPUs:          runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		EventsPerCell: events,
+	}
+
+	progress("queue sweep over depths %v, >=%d events per cell", simSweepDepths, events)
+	rep.QueueSweep = bench.QueueSweep(simSweepDepths, events)
+	for _, p := range rep.QueueSweep {
+		progress("  depth %7d: kernel %6.1f ns/ev, baseline %6.1f ns/ev (%.2fx)",
+			p.Depth, p.Kernel.NsPerEvent, p.Baseline.NsPerEvent, p.Speedup)
+	}
+
+	progress("netem hop mix, 64 flows, >=%d events", events)
+	rep.HopMix = bench.HopMix(64, events)
+
+	progress("netem pump, 16 nodes, >=%d events", events)
+	var err error
+	rep.Netem, err = bench.NetemPump(16, events, 256)
+	if err != nil {
+		return err
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+
+	for _, p := range rep.QueueSweep {
+		fmt.Printf("sim bench: depth %7d  kernel %7.1f ns/ev %5.2f allocs/ev %11.0f ev/s  |  baseline %7.1f ns/ev %5.2f allocs/ev  (%.2fx)\n",
+			p.Depth, p.Kernel.NsPerEvent, p.Kernel.AllocsPerEvent, p.Kernel.EventsPerSec,
+			p.Baseline.NsPerEvent, p.Baseline.AllocsPerEvent, p.Speedup)
+	}
+	fmt.Printf("sim bench: hop mix          kernel %7.1f ns/ev %5.2f allocs/ev %11.0f ev/s  |  baseline %7.1f ns/ev %5.2f allocs/ev  (%.2fx)\n",
+		rep.HopMix.Kernel.NsPerEvent, rep.HopMix.Kernel.AllocsPerEvent, rep.HopMix.Kernel.EventsPerSec,
+		rep.HopMix.Baseline.NsPerEvent, rep.HopMix.Baseline.AllocsPerEvent, rep.HopMix.Speedup)
+	fmt.Printf("sim bench: netem pump       kernel %7.1f ns/ev %5.2f allocs/ev %11.0f ev/s\n",
+		rep.Netem.NsPerEvent, rep.Netem.AllocsPerEvent, rep.Netem.EventsPerSec)
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
+}

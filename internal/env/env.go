@@ -43,6 +43,11 @@ type Env interface {
 	// it — SimEnv recycles the underlying event through the kernel's free
 	// list, so Schedule does not allocate once the simulation is warm.
 	Schedule(d time.Duration, fn func())
+	// ScheduleArg is the closure-free form of Schedule: fn(arg) runs d from
+	// now. Hot paths that would capture per-event state in a closure (one
+	// allocation per packet hop) pass a static fn and a pooled arg instead;
+	// under SimEnv the steady-state cost is zero allocations per event.
+	ScheduleArg(d time.Duration, fn func(arg any), arg any)
 	// Post schedules fn to run as soon as possible, after any callbacks
 	// already queued. It is the bridge for external events (e.g. packets
 	// read from a real socket).
@@ -74,6 +79,11 @@ func (s *SimEnv) After(d time.Duration, fn func()) Timer { return simTimer{s.k.A
 
 // Schedule implements Env through the kernel's pooled fire-and-forget path.
 func (s *SimEnv) Schedule(d time.Duration, fn func()) { s.k.Schedule(d, fn) }
+
+// ScheduleArg implements Env through the kernel's closure-free pooled path.
+func (s *SimEnv) ScheduleArg(d time.Duration, fn func(arg any), arg any) {
+	s.k.ScheduleArg(d, fn, arg)
+}
 
 // Post implements Env.
 func (s *SimEnv) Post(fn func()) { s.k.Schedule(0, fn) }
@@ -147,6 +157,12 @@ func (e *RealEnv) Schedule(d time.Duration, fn func()) {
 		return
 	}
 	time.AfterFunc(d, func() { e.Post(fn) })
+}
+
+// ScheduleArg implements Env. RealEnv is not a hot path, so it simply wraps
+// the pair in a closure; the allocation-free contract is SimEnv's.
+func (e *RealEnv) ScheduleArg(d time.Duration, fn func(arg any), arg any) {
+	e.Schedule(d, func() { fn(arg) })
 }
 
 // After implements Env.

@@ -3,7 +3,6 @@ package metrics
 import (
 	"errors"
 	"fmt"
-	"sort"
 )
 
 // P2Quantile estimates a single quantile online in O(1) space using the
@@ -37,7 +36,7 @@ func (q *P2Quantile) Add(x float64) {
 		q.heights[q.n] = x
 		q.n++
 		if q.n == 5 {
-			sort.Float64s(q.heights[:])
+			insertionSort5(&q.heights, 5)
 			for i := range q.pos {
 				q.pos[i] = float64(i + 1)
 			}
@@ -110,9 +109,9 @@ func (q *P2Quantile) Value() (float64, error) {
 		return 0, errors.New("metrics: no observations")
 	}
 	if q.n < 5 {
-		tmp := make([]float64, q.n)
-		copy(tmp, q.heights[:q.n])
-		sort.Float64s(tmp)
+		var tmp [5]float64
+		copy(tmp[:], q.heights[:q.n])
+		insertionSort5(&tmp, q.n)
 		idx := int(q.p * float64(q.n))
 		if idx >= q.n {
 			idx = q.n - 1
@@ -120,6 +119,22 @@ func (q *P2Quantile) Value() (float64, error) {
 		return tmp[idx], nil
 	}
 	return q.heights[2], nil
+}
+
+// insertionSort5 sorts the first n elements of a five-element array in
+// place. Add calls it exactly once, on the fifth observation, so the
+// bootstrap stays inline and free of the sort package's interface machinery
+// (keeping Add allocation-free and cheap on the per-sample hot path).
+func insertionSort5(a *[5]float64, n int) {
+	for i := 1; i < n; i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
 }
 
 // LatencyTail tracks the paper-relevant latency quantiles (p50, p95, p99)

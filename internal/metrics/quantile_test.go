@@ -145,6 +145,46 @@ func TestLatencyTailEmpty(t *testing.T) {
 	}
 }
 
+// TestAddAllocationFree pins the per-sample hot path: every Add, including
+// the fifth observation's inline bootstrap sort, stays out of the allocator.
+func TestAddAllocationFree(t *testing.T) {
+	const runs = 100
+	rng := rand.New(rand.NewSource(2))
+	qs := make([]*P2Quantile, runs+1) // AllocsPerRun warms up with one extra call
+	for i := range qs {
+		q, err := NewP2Quantile(0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs[i] = q
+	}
+	next := 0
+	allocs := testing.AllocsPerRun(runs, func() {
+		q := qs[next]
+		next++
+		for j := 0; j < 64; j++ {
+			q.Add(rng.Float64())
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("P2Quantile.Add allocated %.1f times per 64 observations, want 0", allocs)
+	}
+}
+
+func TestInsertionSortBootstrap(t *testing.T) {
+	q, err := NewP2Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{5, 1, 4, 2, 3} {
+		q.Add(x)
+	}
+	want := [5]float64{1, 2, 3, 4, 5}
+	if q.heights != want {
+		t.Errorf("bootstrap heights = %v, want %v", q.heights, want)
+	}
+}
+
 func BenchmarkP2QuantileAdd(b *testing.B) {
 	q, err := NewP2Quantile(0.99)
 	if err != nil {

@@ -177,6 +177,84 @@ type Network struct {
 	env   env.Env
 	cfg   Config
 	nodes []*Node
+	// freeIn/freeRx recycle the per-packet dispatch records handed to
+	// env.ScheduleArg, so the emulator's hot path (one switch delivery and
+	// one CPU-done dispatch per hop) runs closure- and allocation-free in
+	// steady state. Single-threaded by the env serialization contract.
+	freeIn []*inflight
+	freeRx []*rxDispatch
+}
+
+// maxFreeDispatch bounds the dispatch-record pools the same way the kernel
+// bounds its event free list.
+const maxFreeDispatch = 4096
+
+// inflight is a frame traversing the switch: scheduled at transmit time,
+// delivered to every target at arrival time by deliverInflight.
+type inflight struct {
+	net     *Network
+	src     wire.NodeID
+	pkt     *wire.Packet
+	frame   int
+	targets []*Node
+}
+
+// deliverInflight is the static ScheduleArg callback for switch delivery.
+func deliverInflight(a any) {
+	f := a.(*inflight)
+	for _, t := range f.targets {
+		t.receive(f.src, f.pkt, f.frame)
+	}
+	f.net.putInflight(f)
+}
+
+func (n *Network) getInflight() *inflight {
+	if ln := len(n.freeIn); ln > 0 {
+		f := n.freeIn[ln-1]
+		n.freeIn[ln-1] = nil
+		n.freeIn = n.freeIn[:ln-1]
+		return f
+	}
+	return &inflight{net: n}
+}
+
+func (n *Network) putInflight(f *inflight) {
+	f.pkt = nil
+	f.targets = f.targets[:0]
+	if len(n.freeIn) < maxFreeDispatch {
+		n.freeIn = append(n.freeIn, f)
+	}
+}
+
+// rxDispatch hands a received packet to the node handler once the receiver
+// CPU finishes its per-packet cost.
+type rxDispatch struct {
+	nd  *Node
+	src wire.NodeID
+	pkt *wire.Packet
+}
+
+// dispatchRx is the static ScheduleArg callback for receiver-CPU completion.
+func dispatchRx(a any) {
+	d := a.(*rxDispatch)
+	nd, src, pkt := d.nd, d.src, d.pkt
+	d.nd, d.pkt = nil, nil
+	if len(nd.net.freeRx) < maxFreeDispatch {
+		nd.net.freeRx = append(nd.net.freeRx, d)
+	}
+	if nd.handler != nil {
+		nd.handler(src, pkt)
+	}
+}
+
+func (n *Network) getRx() *rxDispatch {
+	if ln := len(n.freeRx); ln > 0 {
+		d := n.freeRx[ln-1]
+		n.freeRx[ln-1] = nil
+		n.freeRx = n.freeRx[:ln-1]
+		return d
+	}
+	return &rxDispatch{}
 }
 
 // New builds a LAN on the given environment.
@@ -205,7 +283,7 @@ func (n *Network) AddNode(m Machine) *Node {
 		id:        wire.NodeID(len(n.nodes)),
 		machine:   m,
 		procScale: 1.0,
-		lossTypes: defaultLossTypes(),
+		lossTypes: defaultLossMask,
 		rng:       n.env.Rand(fmt.Sprintf("netem/node/%d", len(n.nodes))),
 	}
 	n.nodes = append(n.nodes, node)
@@ -226,13 +304,15 @@ func (n *Network) Nodes() []*Node {
 	return append([]*Node(nil), n.nodes...)
 }
 
-func defaultLossTypes() map[wire.Type]bool {
-	return map[wire.Type]bool{
-		wire.TypeData:    true,
-		wire.TypeRetrans: true,
-		wire.TypeRepair:  true,
-	}
-}
+// lossMask is a bitset over wire.Type (values 1..15 fit a uint16): one
+// branch-free AND per delivered packet instead of a map lookup.
+type lossMask uint16
+
+func (m lossMask) has(t wire.Type) bool { return m&(lossMask(1)<<uint(t)) != 0 }
+
+const defaultLossMask = lossMask(1)<<uint(wire.TypeData) |
+	lossMask(1)<<uint(wire.TypeRetrans) |
+	lossMask(1)<<uint(wire.TypeRepair)
 
 // Stats are cumulative per-node traffic counters.
 type Stats struct {
@@ -255,7 +335,7 @@ type Node struct {
 	handler   func(src wire.NodeID, pkt *wire.Packet)
 
 	lossPct   float64
-	lossTypes map[wire.Type]bool
+	lossTypes lossMask
 	ge        *gilbertElliott
 	partition bool
 
@@ -311,10 +391,11 @@ func (nd *Node) SetLoss(pct float64) {
 
 // SetLossTypes overrides which packet types are subject to end-host loss.
 func (nd *Node) SetLossTypes(types ...wire.Type) {
-	nd.lossTypes = make(map[wire.Type]bool, len(types))
+	var m lossMask
 	for _, t := range types {
-		nd.lossTypes[t] = true
+		m |= lossMask(1) << uint(t)
 	}
+	nd.lossTypes = m
 }
 
 // SetBurstLoss enables a Gilbert-Elliott two-state bursty loss model on the
@@ -373,23 +454,26 @@ func (nd *Node) Unicast(dst wire.NodeID, pkt *wire.Packet) error {
 	if dst == nd.id {
 		return errors.New("netem: unicast to self")
 	}
-	return nd.transmit([]*Node{target}, pkt)
+	f := nd.net.getInflight()
+	f.targets = append(f.targets, target)
+	return nd.transmit(f, pkt)
 }
 
 // Multicast sends pkt to every other node on the LAN with one egress
 // serialization (switched-Ethernet multicast semantics).
 func (nd *Node) Multicast(pkt *wire.Packet) error {
-	var targets []*Node
+	f := nd.net.getInflight()
 	for _, t := range nd.net.nodes {
 		if t.id != nd.id {
-			targets = append(targets, t)
+			f.targets = append(f.targets, t)
 		}
 	}
-	return nd.transmit(targets, pkt)
+	return nd.transmit(f, pkt)
 }
 
-func (nd *Node) transmit(targets []*Node, pkt *wire.Packet) error {
+func (nd *Node) transmit(f *inflight, pkt *wire.Packet) error {
 	if len(pkt.Payload) > nd.MTU() {
+		nd.net.putInflight(f)
 		return fmt.Errorf("netem: payload %d exceeds MTU %d", len(pkt.Payload), nd.MTU())
 	}
 	e := nd.net.env
@@ -398,6 +482,7 @@ func (nd *Node) transmit(targets []*Node, pkt *wire.Packet) error {
 
 	if nd.partition {
 		nd.stats.DroppedLoss++
+		nd.net.putInflight(f)
 		return nil
 	}
 
@@ -412,6 +497,7 @@ func (nd *Node) transmit(targets []*Node, pkt *wire.Packet) error {
 	linkStart := maxTime(cpuDone, nd.linkBusyUntil)
 	if linkStart.Sub(cpuDone) > nd.net.cfg.MaxQueueDelay {
 		nd.stats.DroppedQueue++
+		nd.net.putInflight(f)
 		return nil
 	}
 	linkDone := linkStart.Add(txTime)
@@ -423,15 +509,13 @@ func (nd *Node) transmit(targets []*Node, pkt *wire.Packet) error {
 
 	// Switch store-and-forward: the frame is fully received by the switch
 	// at linkDone, retransmitted on each destination port (second
-	// serialization), then propagates.
+	// serialization), then propagates. Every target receives the same clone
+	// pointer, matching the previous closure-based dispatch.
 	arrival := linkDone.Add(txTime).Add(nd.net.cfg.PropDelay)
-	clone := pkt.Clone()
-	src := nd.id
-	e.Schedule(arrival.Sub(now), func() {
-		for _, t := range targets {
-			t.receive(src, clone, frame)
-		}
-	})
+	f.src = nd.id
+	f.pkt = pkt.Clone()
+	f.frame = frame
+	e.ScheduleArg(arrival.Sub(now), deliverInflight, f)
 	return nil
 }
 
@@ -448,7 +532,7 @@ func (nd *Node) receive(src wire.NodeID, pkt *wire.Packet, frame int) {
 		return
 	}
 	// End-host loss for data-bearing packets (paper methodology).
-	if nd.lossPct > 0 && nd.lossTypes[pkt.Type] {
+	if nd.lossPct > 0 && nd.lossTypes.has(pkt.Type) {
 		if nd.rng.Float64()*100 < nd.lossPct {
 			nd.stats.DroppedLoss++
 			return
@@ -462,11 +546,9 @@ func (nd *Node) receive(src wire.NodeID, pkt *wire.Packet, frame int) {
 	cpuStart := maxTime(now, nd.cpuBusyUntil)
 	cpuDone := cpuStart.Add(nd.scaled(nd.net.cfg.Cost.recvCost(frame)))
 	nd.cpuBusyUntil = cpuDone
-	e.Schedule(cpuDone.Sub(now), func() {
-		if nd.handler != nil {
-			nd.handler(src, pkt)
-		}
-	})
+	d := nd.net.getRx()
+	d.nd, d.src, d.pkt = nd, src, pkt
+	e.ScheduleArg(cpuDone.Sub(now), dispatchRx, d)
 }
 
 func serialization(frameBytes int, bw Bandwidth) time.Duration {

@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"container/heap"
+	"time"
+
+	"adamant/internal/sim"
+)
+
+// boxedKernel reproduces the kernel's pre-overhaul event queue —
+// container/heap over any-boxed events with time.Time comparisons in Less,
+// including the pooled fire-and-forget free list — so BENCH_sim.json can
+// report a like-for-like speedup for the wheel+heap scheduler. It is the
+// measurement baseline only; the behavioral reference copy used by the
+// differential fuzz test lives in internal/sim/refqueue_test.go.
+type boxedKernel struct {
+	now    time.Time
+	queue  boxedQueue
+	nextID uint64
+	fired  uint64
+	free   []*boxedEvent
+}
+
+const maxFreeBoxed = 1 << 15
+
+type boxedEvent struct {
+	at     time.Time
+	seq    uint64
+	fn     func()
+	index  int
+	owner  *boxedKernel
+	pooled bool
+}
+
+func (e *boxedEvent) cancel() bool {
+	if e == nil || e.index < 0 || e.fn == nil {
+		return false
+	}
+	h := e.owner
+	if h != nil && e.index >= 0 {
+		heap.Remove(&h.queue, e.index)
+		e.index = -1
+		e.fn = nil
+	}
+	return true
+}
+
+func newBoxedKernel() *boxedKernel { return &boxedKernel{now: sim.Epoch} }
+
+func (k *boxedKernel) after(d time.Duration, fn func()) *boxedEvent {
+	t := k.now.Add(d)
+	if t.Before(k.now) {
+		t = k.now
+	}
+	e := &boxedEvent{at: t, seq: k.nextID, fn: fn, owner: k}
+	k.nextID++
+	heap.Push(&k.queue, e)
+	return e
+}
+
+func (k *boxedKernel) schedule(d time.Duration, fn func()) {
+	t := k.now.Add(d)
+	if t.Before(k.now) {
+		t = k.now
+	}
+	var e *boxedEvent
+	if n := len(k.free); n > 0 {
+		e = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		*e = boxedEvent{at: t, seq: k.nextID, fn: fn, owner: k, pooled: true}
+	} else {
+		e = &boxedEvent{at: t, seq: k.nextID, fn: fn, owner: k, pooled: true}
+	}
+	k.nextID++
+	heap.Push(&k.queue, e)
+}
+
+func (k *boxedKernel) step() bool {
+	if k.queue.Len() == 0 {
+		return false
+	}
+	e := heap.Pop(&k.queue).(*boxedEvent)
+	k.now = e.at
+	fn := e.fn
+	e.fn = nil
+	e.index = -1
+	k.fired++
+	if e.pooled && len(k.free) < maxFreeBoxed {
+		k.free = append(k.free, e)
+	}
+	fn()
+	return true
+}
+
+func (k *boxedKernel) run() {
+	for k.step() {
+	}
+}
+
+type boxedQueue []*boxedEvent
+
+func (q boxedQueue) Len() int { return len(q) }
+
+func (q boxedQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q boxedQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *boxedQueue) Push(x any) {
+	e := x.(*boxedEvent)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *boxedQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestChurnParity checks the two churn drivers execute the same workload:
+// identical event counts over identical delay streams, so the comparison in
+// BENCH_sim.json is like-for-like.
+func TestChurnParity(t *testing.T) {
+	for _, depth := range []int{1, 100, 1000} {
+		kf := kernelChurn(depth, 5000)
+		bf := baselineChurn(depth, 5000)
+		if kf != bf {
+			t.Errorf("depth %d: kernel fired %d events, baseline %d", depth, kf, bf)
+		}
+		if kf < 5000 {
+			t.Errorf("depth %d: fired %d events, want >= 5000", depth, kf)
+		}
+	}
+}
+
+// TestHopMixParity does the same for the netem-shaped workload.
+func TestHopMixParity(t *testing.T) {
+	kf := kernelHopMix(16, 20000)
+	bf := baselineHopMix(16, 20000)
+	if kf != bf {
+		t.Errorf("kernel fired %d events, baseline %d", kf, bf)
+	}
+}
+
+func TestQueueSweep(t *testing.T) {
+	points := QueueSweep([]int{10, 100}, 2000)
+	if len(points) != 2 {
+		t.Fatalf("got %d sweep points, want 2", len(points))
+	}
+	for _, p := range points {
+		if p.Kernel.Events == 0 || p.Baseline.Events == 0 {
+			t.Errorf("depth %d: zero events measured", p.Depth)
+		}
+		if p.Kernel.NsPerEvent <= 0 || p.Speedup <= 0 {
+			t.Errorf("depth %d: implausible measurement %+v", p.Depth, p.Comparison)
+		}
+	}
+}
+
+func TestNetemPump(t *testing.T) {
+	r, err := NetemPump(4, 5000, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Events < 5000 {
+		t.Errorf("netem pump fired %d events, want >= 5000", r.Events)
+	}
+}
+
+// BenchmarkKernelChurn100k is the deep-queue steady state on the new
+// scheduler; BenchmarkBaselineChurn100k is the same workload on the
+// container/heap replica, for go-test-level before/after reading.
+func BenchmarkKernelChurn100k(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		kernelChurn(100_000, 300_000)
+	}
+}
+
+func BenchmarkBaselineChurn100k(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		baselineChurn(100_000, 300_000)
+	}
+}
+
+func BenchmarkKernelHopMix(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		kernelHopMix(64, 200_000)
+	}
+}
+
+func BenchmarkBaselineHopMix(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		baselineHopMix(64, 200_000)
+	}
+}
+
+func BenchmarkNetemPump(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := NetemPump(8, 100_000, 256); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

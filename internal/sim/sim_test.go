@@ -320,6 +320,147 @@ func TestScheduleCancelProperty(t *testing.T) {
 	}
 }
 
+// TestScheduleArgOrderAndPooling pins the closure-free dispatch path: it
+// interleaves with Schedule in strict (time, seq) order and recycles events
+// through the free list like Schedule does.
+func TestScheduleArgOrderAndPooling(t *testing.T) {
+	k := New(1)
+	var order []int
+	at := 3 * time.Millisecond
+	k.Schedule(at, func() { order = append(order, 0) })
+	k.ScheduleArg(at, func(a any) { order = append(order, a.(int)) }, 1)
+	k.Schedule(at, func() { order = append(order, 2) })
+	k.ScheduleArg(at, func(a any) { order = append(order, a.(int)) }, 3)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !sort.IntsAreSorted(order) || len(order) != 4 {
+		t.Errorf("same-instant Schedule/ScheduleArg fired out of order: %v", order)
+	}
+	if len(k.free) != 4 {
+		t.Errorf("free list holds %d events after run, want 4", len(k.free))
+	}
+}
+
+// TestScheduleArgAllocationFree verifies the whole point of ScheduleArg: in
+// steady state (warm free list, pointer-shaped arg) it never allocates.
+func TestScheduleArgAllocationFree(t *testing.T) {
+	k := New(1)
+	type payload struct{ n int }
+	p := &payload{}
+	fn := func(a any) { a.(*payload).n++ }
+	k.ScheduleArg(time.Microsecond, fn, p) // warm the free list
+	k.Step()
+	allocs := testing.AllocsPerRun(1000, func() {
+		k.ScheduleArg(time.Microsecond, fn, p)
+		k.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("ScheduleArg allocated %.1f times per event, want 0", allocs)
+	}
+}
+
+// TestWheelHorizonBoundary schedules events just inside, exactly at, and
+// beyond the wheel horizon and checks global fire order across the three
+// internal containers.
+func TestWheelHorizonBoundary(t *testing.T) {
+	k := New(1)
+	horizon := time.Duration(wheelSlots * tickNanos)
+	delays := []time.Duration{
+		0, time.Nanosecond, tickNanos - 1, tickNanos, // cur and first bucket
+		horizon - time.Nanosecond, horizon, horizon + time.Nanosecond, // straddle
+		10 * horizon, // deep far heap
+	}
+	var fired []time.Duration
+	for _, d := range delays {
+		d := d
+		k.Schedule(d, func() { fired = append(fired, d) })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != len(delays) {
+		t.Fatalf("fired %d of %d events", len(fired), len(delays))
+	}
+	for i := 1; i < len(fired); i++ {
+		if fired[i] < fired[i-1] {
+			t.Fatalf("fired out of order: %v", fired)
+		}
+	}
+}
+
+// TestCancelInEveryContainer cancels events parked in the cur heap, a wheel
+// bucket, and the far heap, plus one mid-bucket swap-removal.
+func TestCancelInEveryContainer(t *testing.T) {
+	k := New(1)
+	horizon := time.Duration(wheelSlots * tickNanos)
+	fired := 0
+	count := func() { fired++ }
+	cur := k.After(0, count)                   // current tick → cur heap
+	wheelA := k.After(time.Millisecond, count) // wheel bucket
+	wheelB := k.After(time.Millisecond, count) // same bucket, swap-remove path
+	far := k.After(horizon+time.Second, count) // far heap
+	keep := k.After(2*time.Millisecond, count) // survives
+	for _, e := range []*Event{cur, wheelA, far} {
+		if !e.Cancel() {
+			t.Fatal("Cancel returned false for a queued event")
+		}
+		if e.Cancel() {
+			t.Fatal("second Cancel returned true")
+		}
+	}
+	if !wheelB.Cancel() {
+		t.Fatal("Cancel of bucket-mate returned false")
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Errorf("fired = %d, want 1 (only the kept event)", fired)
+	}
+	if keep.Cancel() {
+		t.Error("Cancel after fire returned true")
+	}
+}
+
+// TestPendingAcrossContainers checks Pending sums all three containers.
+func TestPendingAcrossContainers(t *testing.T) {
+	k := New(1)
+	horizon := time.Duration(wheelSlots * tickNanos)
+	k.After(0, func() {})
+	k.After(time.Millisecond, func() {})
+	k.After(horizon+time.Minute, func() {})
+	if got := k.Pending(); got != 3 {
+		t.Errorf("Pending() = %d, want 3", got)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.Pending(); got != 0 {
+		t.Errorf("Pending() after Run = %d, want 0", got)
+	}
+}
+
+// TestRunUntilAcrossWheel drains exactly the events at or before the
+// deadline even when they span wheel buckets and the far heap.
+func TestRunUntilAcrossWheel(t *testing.T) {
+	k := New(1)
+	horizon := time.Duration(wheelSlots * tickNanos)
+	var fired []int
+	k.After(time.Millisecond, func() { fired = append(fired, 1) })
+	k.After(horizon+time.Second, func() { fired = append(fired, 2) })
+	deadline := Epoch.Add(horizon + time.Second)
+	if err := k.RunUntil(deadline); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 {
+		t.Errorf("fired = %v, want both events (deadline inclusive)", fired)
+	}
+	if !k.Now().Equal(deadline) {
+		t.Errorf("Now() = %v, want %v", k.Now(), deadline)
+	}
+}
+
 func BenchmarkScheduleAndFire(b *testing.B) {
 	k := New(1)
 	b.ReportAllocs()
@@ -338,6 +479,41 @@ func BenchmarkSchedulePooled(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		k.Schedule(time.Microsecond, fn)
+		k.Step()
+	}
+}
+
+// BenchmarkScheduleArg measures the closure-free dispatch path.
+func BenchmarkScheduleArg(b *testing.B) {
+	k := New(1)
+	fn := func(any) {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k.ScheduleArg(time.Microsecond, fn, nil)
+		k.Step()
+	}
+}
+
+// BenchmarkScheduleDeep measures steady-state pop/push with a large pending
+// set: 100k events resident, delays straddling the wheel horizon, so every
+// container is exercised.
+func BenchmarkScheduleDeep(b *testing.B) {
+	k := New(1)
+	fn := func() {}
+	rng := rand.New(rand.NewSource(7))
+	delay := func() time.Duration {
+		if rng.Intn(5) == 0 {
+			return time.Duration(rng.Intn(200_000)) * time.Microsecond // far heap
+		}
+		return time.Duration(rng.Intn(10_000)) * time.Microsecond // wheel
+	}
+	for i := 0; i < 100_000; i++ {
+		k.Schedule(delay(), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Schedule(delay(), fn)
 		k.Step()
 	}
 }

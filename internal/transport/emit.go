@@ -1,0 +1,79 @@
+package transport
+
+import (
+	"time"
+
+	"adamant/internal/env"
+)
+
+// EmitQueue defers Delivery callbacks by a CPU-cost delay (the time
+// Endpoint.Work reports until sequencing/holdback bookkeeping finishes)
+// without allocating per delivery: deferred records are handed to
+// env.ScheduleArg as pooled arguments instead of capturing closures, so the
+// per-sample dispatch is allocation-free once the receiver is warm.
+//
+// An EmitQueue is bound to one receiver: closed points at the receiver's
+// closed flag and is consulted at fire time, and DeliveredAt is stamped at
+// fire time, both exactly as the closure-based dispatch did.
+type EmitQueue struct {
+	env     env.Env
+	deliver DeliverFunc
+	closed  *bool
+	free    []*pendingEmit
+}
+
+// maxFreeEmits bounds the pool; a recovery burst can briefly queue many
+// deliveries behind a slow CPU, but they drain in the same virtual instant.
+const maxFreeEmits = 1024
+
+type pendingEmit struct {
+	q *EmitQueue
+	d Delivery
+}
+
+// NewEmitQueue binds a queue to a receiver's deliver callback and closed
+// flag. deliver may be nil only if Emit is never called.
+func NewEmitQueue(e env.Env, deliver DeliverFunc, closed *bool) EmitQueue {
+	return EmitQueue{env: e, deliver: deliver, closed: closed}
+}
+
+// emitPending is the static ScheduleArg callback: recycle first, then
+// deliver, so a delivery that triggers further protocol work can reuse the
+// record immediately.
+func emitPending(a any) {
+	p := a.(*pendingEmit)
+	q := p.q
+	d := p.d
+	p.q = nil
+	p.d = Delivery{}
+	if len(q.free) < maxFreeEmits {
+		q.free = append(q.free, p)
+	}
+	if !*q.closed {
+		d.DeliveredAt = q.env.Now()
+		q.deliver(d)
+	}
+}
+
+// Emit delivers d after delay. DeliveredAt is stamped when the delivery
+// actually fires; a non-positive delay delivers synchronously.
+func (q *EmitQueue) Emit(delay time.Duration, d Delivery) {
+	if delay <= 0 {
+		if !*q.closed {
+			d.DeliveredAt = q.env.Now()
+			q.deliver(d)
+		}
+		return
+	}
+	var p *pendingEmit
+	if n := len(q.free); n > 0 {
+		p = q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+	} else {
+		p = new(pendingEmit)
+	}
+	p.q = q
+	p.d = d
+	q.env.ScheduleArg(delay, emitPending, p)
+}

@@ -385,6 +385,7 @@ type Receiver struct {
 	eosHigh     uint64
 
 	nakTimer env.Timer
+	emitq    transport.EmitQueue
 	stats    transport.ReceiverStats
 	closed   bool
 }
@@ -419,6 +420,7 @@ func NewReceiver(cfg transport.Config, opts Options) (*Receiver, error) {
 		abandoned:   make(map[uint64]bool),
 		seen:        make(map[uint64]bool),
 	}
+	r.emitq = transport.NewEmitQueue(cfg.Env, cfg.Deliver, &r.closed)
 	r.mux.Handle(wire.TypeData, r.onData)
 	r.mux.Handle(wire.TypeRetrans, r.onData)
 	r.mux.Handle(wire.TypeHeartbeat, r.onHeartbeat)
@@ -671,24 +673,13 @@ func (r *Receiver) deliver(seq uint64) {
 	// Sequencing/holdback bookkeeping consumes CPU; delivery lands when
 	// the CPU is done. Bursts released by a recovery stack up naturally.
 	delay := r.cfg.Endpoint.Work(r.opts.ProcCost)
-	emit := func() {
-		if r.closed {
-			return
-		}
-		r.cfg.Deliver(transport.Delivery{
-			Stream:      r.cfg.Stream,
-			Seq:         seq,
-			Payload:     e.payload,
-			SentAt:      e.sentAt,
-			DeliveredAt: r.cfg.Env.Now(),
-			Recovered:   e.recovered,
-		})
-	}
-	if delay <= 0 {
-		emit()
-		return
-	}
-	r.cfg.Env.Schedule(delay, emit)
+	r.emitq.Emit(delay, transport.Delivery{
+		Stream:    r.cfg.Stream,
+		Seq:       seq,
+		Payload:   e.payload,
+		SentAt:    e.sentAt,
+		Recovered: e.recovered,
+	})
 }
 
 func minKey(m map[uint64]bufEntry) (uint64, bool) {

@@ -257,6 +257,7 @@ type Receiver struct {
 	// and lets shifted repairs resolve double losses by cascade.
 	stagger    int
 	flushTimer env.Timer
+	emitq      transport.EmitQueue
 
 	stats  transport.ReceiverStats
 	closed bool
@@ -278,6 +279,7 @@ func NewReceiver(cfg transport.Config, opts Options) (*Receiver, error) {
 		window:  make(map[uint64]*wire.Packet),
 		stagger: opts.staggerFor(cfg.Endpoint.Local()),
 	}
+	r.emitq = transport.NewEmitQueue(cfg.Env, cfg.Deliver, &r.closed)
 	r.mux.Handle(wire.TypeData, r.onData)
 	r.mux.Handle(wire.TypeRepair, r.onRepair)
 	return r, nil
@@ -561,24 +563,13 @@ func (r *Receiver) deliverAfter(delay time.Duration, pkt *wire.Packet, recovered
 	if recovered {
 		r.stats.Recovered++
 	}
-	emit := func() {
-		if r.closed {
-			return
-		}
-		r.cfg.Deliver(transport.Delivery{
-			Stream:      r.cfg.Stream,
-			Seq:         pkt.Seq,
-			Payload:     pkt.Payload,
-			SentAt:      pkt.SentAt,
-			DeliveredAt: r.cfg.Env.Now(),
-			Recovered:   recovered,
-		})
-	}
-	if delay <= 0 {
-		emit()
-		return
-	}
-	r.cfg.Env.Schedule(delay, emit)
+	r.emitq.Emit(delay, transport.Delivery{
+		Stream:    r.cfg.Stream,
+		Seq:       pkt.Seq,
+		Payload:   pkt.Payload,
+		SentAt:    pkt.SentAt,
+		Recovered: recovered,
+	})
 }
 
 // quickSelect returns the k-th smallest value (1-based) of s, reordering s.
