@@ -11,11 +11,13 @@ tier1:
 # race runs the concurrency-sensitive packages (the parallel experiment
 # engine, the parallel ANN trainer, the simulation kernel, the transports
 # including the crucible matrix, the broker, membership, the chaos engine,
-# and the integration failure suite) under the race detector.
+# the adaptation loop (core + dds hot-swap path), and the integration
+# failure suite) under the race detector.
 race:
 	$(GO) test -race ./internal/experiment ./internal/ann/... ./internal/sim/... \
 		./internal/transport/... ./internal/broker ./internal/membership \
-		./internal/netem/... ./internal/integration
+		./internal/netem/... ./internal/core/... ./internal/dds/... \
+		./internal/integration
 
 # fuzz-smoke gives every fuzz target a short budget; CI runs this to keep
 # the corpora honest without burning minutes.
@@ -27,6 +29,7 @@ fuzz-smoke:
 	$(GO) test -run NONE -fuzz FuzzLoad -fuzztime $(FUZZTIME) ./internal/ann
 	$(GO) test -run NONE -fuzz FuzzSchedule -fuzztime $(FUZZTIME) ./internal/netem/chaos
 	$(GO) test -run NONE -fuzz FuzzKernelOrder -fuzztime $(FUZZTIME) ./internal/sim
+	$(GO) test -run NONE -fuzz FuzzRebind -fuzztime $(FUZZTIME) ./internal/transport/conformance
 
 # chaos runs the full transport crucible from the command line.
 chaos:

@@ -36,12 +36,16 @@ func mean(ss []metrics.Summary, f func(metrics.Summary) float64) float64 {
 
 func main() {
 	chaosMode := flag.Bool("chaos", false, "run the transport crucible (chaos scenario matrix) instead of calibration")
+	adaptMode := flag.Bool("adapt", false, "run the adaptation figure (static candidates vs live hot-swap in a drifting environment)")
 	jobs := flag.Int("jobs", 0, "worker pool width for the crucible matrix (0 = GOMAXPROCS)")
 	seeds := flag.Int("seeds", 2, "number of seeds per crucible cell (seeds 1..n)")
 	scenario := flag.String("scenario", "", "restrict the crucible to one scenario by name")
 	flag.Parse()
 	if *chaosMode {
 		os.Exit(runChaos(*jobs, *seeds, *scenario))
+	}
+	if *adaptMode {
+		os.Exit(runAdapt())
 	}
 
 	runs := 3
@@ -200,8 +204,15 @@ func runChaos(jobs, seeds int, scenario string) int {
 	}
 	specs := conformance.DefaultCrucibleSpecs()
 	cells := conformance.CrucibleCells(specs, scenarios, seedList)
-	fmt.Printf("chaos crucible: %d specs x %d scenarios x %d seeds = %d cells (each run twice)\n",
-		len(specs), len(scenarios), len(seedList), len(cells))
+	static := len(cells)
+	if scenario == "" {
+		// The full matrix also exercises live hot-swaps: a calm switch, a
+		// switch at the loss peak, a switch at the partition heal, and
+		// back-to-back flapping, for every base protocol.
+		cells = append(cells, conformance.SwitchCells(specs, seedList)...)
+	}
+	fmt.Printf("chaos crucible: %d specs x %d scenarios x %d seeds = %d cells + %d switch cells (each run twice)\n",
+		len(specs), len(scenarios), len(seedList), static, len(cells)-static)
 
 	results := conformance.RunCrucibleMatrix(cells, jobs, nil)
 	failed := 0
@@ -225,5 +236,26 @@ func runChaos(jobs, seeds int, scenario string) int {
 		fmt.Println("reproduce a cell from its line: see EXPERIMENTS.md, \"Reproducing a crucible failure\"")
 		return 1
 	}
+	return 0
+}
+
+// runAdapt executes the adaptation figure: a drifting environment driven
+// once per static candidate and once with the in-mission adaptor hot-swapping
+// the transport, reporting composite scores and the reconfiguration cost
+// (Rebind apply time + old-generation drain latency). Returns the exit code.
+func runAdapt() int {
+	report, err := experiment.RunAdaptationFigure(experiment.AdaptationConfig{
+		Seed: 11, Metric: core.MetricReLate2,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ERR", err)
+		return 1
+	}
+	fmt.Print(report)
+	if !report.AdaptiveWins(0.05) {
+		fmt.Println("\nFAIL adaptive run lost to the best static configuration")
+		return 1
+	}
+	fmt.Println("\nPASS adaptive run matched or beat every static configuration")
 	return 0
 }

@@ -161,11 +161,16 @@ func (a *Adaptor) tick() {
 		return // keep the current configuration; selector may recover
 	}
 	a.current = next
-	a.lastChange = a.env.Now()
 	if spec.String() == a.spec {
-		return // same protocol is still right for the new environment
+		// Same protocol is still right for the new environment. The
+		// baseline moves (so this drift stops re-triggering) but the
+		// cooldown clock must not: nothing was reconfigured, and rebasing
+		// it here would let a stream of same-spec decisions indefinitely
+		// postpone a needed switch.
+		return
 	}
 	a.spec = spec.String()
+	a.lastChange = a.env.Now()
 	a.stats.Reconfigures++
 	a.reconfigure(Decision{Features: next, Spec: spec})
 }

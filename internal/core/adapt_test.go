@@ -137,6 +137,45 @@ func TestAdaptorCooldownSuppressesFlapping(t *testing.T) {
 	}
 }
 
+// TestAdaptorSameSpecDecisionKeepsCooldownClock is the regression test for
+// a cooldown bookkeeping bug: a drift that re-selected the SAME protocol
+// used to rebase lastChange, so a stream of same-spec decisions could
+// postpone a genuinely needed switch indefinitely.
+func TestAdaptorSameSpecDecisionKeepsCooldownClock(t *testing.T) {
+	k, a, obs, decisions := newAdaptorHarness(t, core.AdaptorOptions{
+		Interval: 100 * time.Millisecond, Cooldown: time.Second,
+	})
+	if err := k.RunFor(500 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// Rate drifts but the selector still answers nakcast. Ticks inside the
+	// cooldown window suppress; the first tick after t=1s applies the
+	// same-spec decision — which must NOT reset the cooldown clock.
+	obs.RateHz = 100
+	if err := k.RunFor(700 * time.Millisecond); err != nil { // t = 1.2s
+		t.Fatal(err)
+	}
+	if len(*decisions) != 0 {
+		t.Fatalf("same-spec drift reconfigured: %v", *decisions)
+	}
+	if a.Current().RateHz != 100 {
+		t.Fatalf("baseline not rebased after same-spec decision: %+v", a.Current())
+	}
+	// Receivers now jump past the selector threshold. The last actual
+	// reconfigure was at t=0, so the switch is due immediately.
+	obs.Receivers = 15
+	if err := k.RunFor(300 * time.Millisecond); err != nil { // t = 1.5s
+		t.Fatal(err)
+	}
+	if len(*decisions) != 1 {
+		t.Fatalf("decisions = %d, want 1 (cooldown clock was rebased by a same-spec decision)",
+			len(*decisions))
+	}
+	if (*decisions)[0].Spec.Name != "ricochet" {
+		t.Errorf("switched to %s, want ricochet", (*decisions)[0].Spec)
+	}
+}
+
 func TestAdaptorLossDrift(t *testing.T) {
 	k, a, obs, _ := newAdaptorHarness(t, core.AdaptorOptions{
 		Interval: 100 * time.Millisecond, Cooldown: time.Millisecond,

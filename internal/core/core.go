@@ -53,11 +53,11 @@ func (m Metric) String() string {
 // Metrics returns both composite metrics in stable order.
 func Metrics() []Metric { return []Metric{MetricReLate2, MetricReLate2Jit} }
 
-// Candidates is the protocol configuration space ADAMANT selects from —
-// the same six configurations the paper's experiments sweep: NAKcast with
-// 50/25/10/1 ms NAK timeouts and Ricochet with R=4,C=3 and R=8,C=3.
-func Candidates() []transport.Spec {
-	return []transport.Spec{
+// candidates is the fixed selection space, built once; candidateIndex maps
+// each candidate's canonical spec string to its position. Both back the
+// decision hot path, which must not allocate.
+var (
+	candidates = []transport.Spec{
 		nakcast.Spec(50 * time.Millisecond),
 		nakcast.Spec(25 * time.Millisecond),
 		nakcast.Spec(10 * time.Millisecond),
@@ -65,20 +65,51 @@ func Candidates() []transport.Spec {
 		ricochet.Spec(4, 3),
 		ricochet.Spec(8, 3),
 	}
+	candidateIndex = func() map[string]int {
+		m := make(map[string]int, len(candidates))
+		for i, c := range candidates {
+			m[c.String()] = i
+		}
+		return m
+	}()
+)
+
+// Candidates is the protocol configuration space ADAMANT selects from —
+// the same six configurations the paper's experiments sweep: NAKcast with
+// 50/25/10/1 ms NAK timeouts and Ricochet with R=4,C=3 and R=8,C=3.
+func Candidates() []transport.Spec {
+	return append([]transport.Spec(nil), candidates...)
 }
 
 // NumCandidates is the size of the selection space (the ANN output width).
 const NumCandidates = 6
 
-// CandidateIndex returns the index of spec within Candidates.
+// CandidateIndex returns the index of spec within Candidates. The common
+// case — spec structurally equal to a candidate — is an allocation-free
+// field comparison; specs whose params render to the same canonical string
+// through a different map instance fall back to the precomputed index.
 func CandidateIndex(spec transport.Spec) (int, error) {
-	want := spec.String()
-	for i, c := range Candidates() {
-		if c.String() == want {
+	for i := range candidates {
+		if specEqual(candidates[i], spec) {
 			return i, nil
 		}
 	}
-	return 0, fmt.Errorf("core: %s is not a candidate protocol", want)
+	if i, ok := candidateIndex[spec.String()]; ok {
+		return i, nil
+	}
+	return 0, fmt.Errorf("core: %s is not a candidate protocol", spec)
+}
+
+func specEqual(a, b transport.Spec) bool {
+	if a.Name != b.Name || len(a.Params) != len(b.Params) {
+		return false
+	}
+	for k, v := range a.Params {
+		if b.Params[k] != v {
+			return false
+		}
+	}
+	return true
 }
 
 // Features is the environment + application description fed to a Selector:
@@ -102,7 +133,16 @@ const NumInputs = 9
 // CPU MHz (/3000), log10 bandwidth (/3 from Mbps), one-hot implementation,
 // loss (/5), receivers (/15), rate (/100), one-hot metric.
 func (f Features) Vector() []float64 {
-	v := make([]float64, NumInputs)
+	return f.AppendVector(make([]float64, 0, NumInputs))
+}
+
+// AppendVector appends the Vector encoding to dst and returns the extended
+// slice. Callers on the decision hot path pass a reused buffer (dst[:0]) so
+// encoding does not allocate.
+func (f Features) AppendVector(dst []float64) []float64 {
+	n := len(dst)
+	dst = append(dst, make([]float64, NumInputs)...)
+	v := dst[n : n+NumInputs]
 	v[0] = f.MachineMHz / 3000
 	if f.BandwidthMbps > 0 {
 		v[1] = math.Log10(f.BandwidthMbps) / 3
@@ -120,7 +160,7 @@ func (f Features) Vector() []float64 {
 	} else {
 		v[8] = 1
 	}
-	return v
+	return dst
 }
 
 // Key returns a canonical string identity for exact-match lookup (the
@@ -143,6 +183,9 @@ type Selector interface {
 // environments unknown until runtime.
 type ANNSelector struct {
 	net *ann.Network
+	// buf is the reused input-encoding buffer; Select runs in env callback
+	// context (serial), so no synchronization is needed.
+	buf []float64
 }
 
 var _ Selector = (*ANNSelector)(nil)
@@ -161,13 +204,16 @@ func NewANNSelector(net *ann.Network) (*ANNSelector, error) {
 	return &ANNSelector{net: net}, nil
 }
 
-// Select implements Selector.
+// Select implements Selector. After the first call it does not allocate:
+// the input encoding reuses an internal buffer and the result is served
+// from the fixed candidate set.
 func (s *ANNSelector) Select(f Features) (transport.Spec, error) {
-	idx, err := s.net.Classify(f.Vector())
+	s.buf = f.AppendVector(s.buf[:0])
+	idx, err := s.net.Classify(s.buf)
 	if err != nil {
 		return transport.Spec{}, err
 	}
-	return Candidates()[idx], nil
+	return candidates[idx], nil
 }
 
 // TableSelector is the manual-configuration baseline the paper contrasts

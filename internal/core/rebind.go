@@ -1,0 +1,63 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"adamant/internal/dds"
+	"adamant/internal/env"
+	"adamant/internal/transport"
+)
+
+// This file closes the paper's adaptation loop: the Adaptor produces
+// Decisions, and a Rebinder applies them to the running middleware through
+// DomainParticipant.Rebind — the live drain-and-handoff transport swap —
+// instead of requiring a restart with a new static configuration.
+
+// SwitchRecord documents one applied reconfiguration.
+type SwitchRecord struct {
+	// At is the (simulation) time the decision was applied.
+	At time.Time
+	// Spec is the transport the middleware switched to.
+	Spec transport.Spec
+	// Writers is the number of data writers whose binding was swapped.
+	Writers int
+	// ApplyTime is the host-clock cost of the Rebind call itself: building
+	// the new protocol generation and closing the old one into drain mode.
+	// The subsequent in-flight drain completes asynchronously; its latency
+	// is observable per reader via DataReader.TransportEpochs.
+	ApplyTime time.Duration
+	// Err is non-nil if some writer failed to swap (it keeps its previous
+	// binding; Rebind is atomic per writer).
+	Err error
+}
+
+// Rebinder adapts a DomainParticipant to the Adaptor's ReconfigureFunc
+// seam, recording every applied switch.
+type Rebinder struct {
+	env      env.Env
+	p        *dds.DomainParticipant
+	switches []SwitchRecord
+}
+
+// NewRebinder builds a Rebinder for the participant.
+func NewRebinder(e env.Env, p *dds.DomainParticipant) (*Rebinder, error) {
+	if e == nil || p == nil {
+		return nil, errors.New("core: rebinder needs env and participant")
+	}
+	return &Rebinder{env: e, p: p}, nil
+}
+
+// Reconfigure is a ReconfigureFunc: pass it to NewAdaptor.
+func (r *Rebinder) Reconfigure(d Decision) {
+	rec := SwitchRecord{At: r.env.Now(), Spec: d.Spec}
+	t0 := time.Now()
+	rec.Writers, rec.Err = r.p.Rebind(d.Spec)
+	rec.ApplyTime = time.Since(t0)
+	r.switches = append(r.switches, rec)
+}
+
+// Switches returns a copy of the applied-switch log.
+func (r *Rebinder) Switches() []SwitchRecord {
+	return append([]SwitchRecord(nil), r.switches...)
+}

@@ -1,0 +1,145 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"adamant/internal/core"
+	"adamant/internal/dds"
+	"adamant/internal/env"
+	"adamant/internal/netem"
+	"adamant/internal/sim"
+	"adamant/internal/transport"
+	"adamant/internal/transport/protocols"
+)
+
+func TestRebinderValidation(t *testing.T) {
+	k := sim.New(1)
+	e := env.NewSim(k)
+	if _, err := core.NewRebinder(nil, nil); err == nil {
+		t.Error("nil args accepted")
+	}
+	if _, err := core.NewRebinder(e, nil); err == nil {
+		t.Error("nil participant accepted")
+	}
+}
+
+// TestAdaptationLoopEndToEnd closes the whole loop the paper leaves as
+// future work: live dds traffic, an Adaptor watching the workload, and a
+// Rebinder applying its decisions as hot transport swaps — no restart, no
+// lost samples.
+func TestAdaptationLoopEndToEnd(t *testing.T) {
+	k := sim.New(7)
+	e := env.NewSim(k)
+	net, err := netem.New(e, netem.Config{Bandwidth: netem.Gbps1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := protocols.MustRegistry()
+	writerNode := net.AddNode(netem.PC3000)
+	readerNode := net.AddNode(netem.PC3000)
+	receivers := transport.StaticReceivers(readerNode.Local())
+
+	initialSpec := core.Candidates()[3] // nakcast(timeout=1ms)
+	mk := func(node *netem.Node) *dds.DomainParticipant {
+		p, err := dds.NewParticipant(dds.ParticipantConfig{
+			Env: e, Endpoint: node, Registry: reg, Transport: initialSpec,
+			Impl: dds.ImplB, SenderID: writerNode.Local(), Receivers: receivers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	writerP, readerP := mk(writerNode), mk(readerNode)
+	topic, err := writerP.CreateTopic("adaptive", dds.TopicQoS{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writer, err := writerP.CreateDataWriter(topic, dds.WriterQoS{Reliability: dds.Reliable})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, _ := readerP.CreateTopic("adaptive", dds.TopicQoS{})
+	var got []dds.Sample
+	var observedSwitch []string
+	if _, err := readerP.CreateDataReader(rt, dds.ReaderQoS{Reliability: dds.Reliable},
+		dds.ListenerFuncs{
+			Data:             func(s dds.Sample) { got = append(got, s) },
+			TransportChanged: func(_ string, spec transport.Spec) { observedSwitch = append(observedSwitch, spec.String()) },
+		}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The observation the adaptor sees; receivers will "grow" mid-run.
+	obs := core.Observation{Receivers: 3, RateHz: 50, LossPct: 1}
+	rebinder, err := core.NewRebinder(e, writerP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := core.Decision{
+		Features: core.FeaturesFor(netem.PC3000, netem.Gbps1, dds.ImplB, 1, 3, 50, core.MetricReLate2),
+		Spec:     initialSpec,
+	}
+	adaptor, err := core.NewAdaptor(e, flipSelector{threshold: 10}, initial,
+		func() core.Observation { return obs },
+		rebinder.Reconfigure,
+		core.AdaptorOptions{Interval: 100 * time.Millisecond, Cooldown: 500 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer adaptor.Close()
+
+	publish := func(n int) {
+		for j := 0; j < n; j++ {
+			if err := writer.Write([]byte(fmt.Sprintf("m-%d", writer.Seq()))); err != nil {
+				t.Fatal(err)
+			}
+			if err := k.RunFor(20 * time.Millisecond); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	publish(40) // 800ms of steady traffic under nakcast
+	obs.Receivers = 15
+	publish(40) // the adaptor notices within ~100ms and rebinds mid-traffic
+	if err := writer.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunFor(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	switches := rebinder.Switches()
+	if len(switches) != 1 {
+		t.Fatalf("switches = %+v, want exactly 1", switches)
+	}
+	sw := switches[0]
+	if sw.Spec.Name != "ricochet" || sw.Writers != 1 || sw.Err != nil {
+		t.Errorf("switch record = %+v", sw)
+	}
+	if sw.ApplyTime <= 0 {
+		t.Errorf("ApplyTime = %v, want > 0", sw.ApplyTime)
+	}
+	if writer.TransportSpec().Name != "ricochet" || writer.TransportEpoch() != 1 {
+		t.Errorf("writer ended on %s epoch %d", writer.TransportSpec(), writer.TransportEpoch())
+	}
+	if len(observedSwitch) != 1 || observedSwitch[0] != "ricochet(c=3,r=4)" {
+		t.Errorf("reader observed switches %v", observedSwitch)
+	}
+	if len(got) != 80 {
+		t.Errorf("reader got %d samples, want 80 (none may be lost across the swap)", len(got))
+	}
+	seen := make(map[uint64]bool)
+	for _, s := range got {
+		if seen[s.Info.Seq] {
+			t.Errorf("duplicate seq %d across swap", s.Info.Seq)
+		}
+		seen[s.Info.Seq] = true
+	}
+	if adaptor.Stats().Reconfigures != 1 {
+		t.Errorf("adaptor stats = %+v", adaptor.Stats())
+	}
+}

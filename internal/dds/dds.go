@@ -145,6 +145,46 @@ func (p *DomainParticipant) Impl() Impl { return p.cfg.Impl }
 // TransportSpec returns the participant-wide transport configuration.
 func (p *DomainParticipant) TransportSpec() transport.Spec { return p.cfg.Transport }
 
+// Rebind hot-swaps the participant-wide transport to spec while writers and
+// readers stay live. Every non-pinned writer's binding drains its current
+// protocol generation and hands the sequence space to the new one (see
+// transport.SenderBinding); readers learn the change in-band and surface it
+// through Listener.OnTransportChanged. Writers whose transport was fixed by
+// QoS (explicit override or best-effort reliability) are skipped. Returns
+// the number of writers swapped. On a per-writer failure the error is
+// returned but remaining writers are still attempted; a failed writer keeps
+// its old binding (Swap is atomic per writer).
+func (p *DomainParticipant) Rebind(spec transport.Spec) (int, error) {
+	if p.closed {
+		return 0, ErrEntityClosed
+	}
+	if spec.Name == "" {
+		return 0, errors.New("dds: Rebind with empty spec")
+	}
+	if _, err := p.cfg.Registry.Lookup(spec.Name); err != nil {
+		return 0, err
+	}
+	p.cfg.Transport = spec
+	swapped := 0
+	var firstErr error
+	for _, w := range p.writers {
+		if w.pinned || w.closed {
+			continue
+		}
+		before := w.sender.Spec().String()
+		if err := w.sender.Swap(spec); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("dds: rebinding topic %q: %w", w.topic.name, err)
+			}
+			continue
+		}
+		if before != spec.String() {
+			swapped++
+		}
+	}
+	return swapped, firstErr
+}
+
 // CreateTopic registers (or returns the existing) topic with the given
 // name. Topic names map deterministically to wire stream IDs; a hash
 // collision between distinct names is reported as an error.

@@ -37,13 +37,18 @@ type Listener interface {
 	// OnSampleLost fires when the transport gives up recovering a sample
 	// (the DDS SAMPLE_LOST status).
 	OnSampleLost(topic string, seq uint64)
+	// OnTransportChanged fires when the reader's transport binding learns
+	// that the writer hot-swapped the topic onto a new protocol (see
+	// DomainParticipant.Rebind). The spec is the new epoch's transport.
+	OnTransportChanged(topic string, spec transport.Spec)
 }
 
 // ListenerFuncs adapts plain functions to Listener; nil fields are no-ops.
 type ListenerFuncs struct {
-	Data           func(s Sample)
-	DeadlineMissed func(topic string)
-	SampleLost     func(topic string, seq uint64)
+	Data             func(s Sample)
+	DeadlineMissed   func(topic string)
+	SampleLost       func(topic string, seq uint64)
+	TransportChanged func(topic string, spec transport.Spec)
 }
 
 var _ Listener = ListenerFuncs{}
@@ -69,6 +74,13 @@ func (l ListenerFuncs) OnSampleLost(topic string, seq uint64) {
 	}
 }
 
+// OnTransportChanged implements Listener.
+func (l ListenerFuncs) OnTransportChanged(topic string, spec transport.Spec) {
+	if l.TransportChanged != nil {
+		l.TransportChanged(topic, spec)
+	}
+}
+
 // DataReader receives samples on one topic into a history cache and an
 // optional listener.
 type DataReader struct {
@@ -76,7 +88,7 @@ type DataReader struct {
 	topic       *Topic
 	qos         ReaderQoS
 	listener    Listener
-	receiver    transport.Receiver
+	receiver    *transport.ReceiverBinding
 
 	cache         []Sample
 	samplesLost   uint64
@@ -111,7 +123,19 @@ func (p *DomainParticipant) CreateDataReader(topic *Topic, qos ReaderQoS, listen
 			r.listener.OnSampleLost(r.topic.name, seq)
 		}
 	}
-	receiver, err := p.cfg.Registry.NewReceiver(spec, cfg)
+	receiver, err := transport.NewReceiverBinding(transport.BindingConfig{
+		Config:   cfg,
+		Registry: p.cfg.Registry,
+		Spec:     spec,
+		OnTransportChanged: func(_ uint16, s transport.Spec) {
+			if r.closed {
+				return
+			}
+			if r.listener != nil {
+				r.listener.OnTransportChanged(r.topic.name, s)
+			}
+		},
+	})
 	if err != nil {
 		return nil, fmt.Errorf("dds: creating reader transport %s: %w", spec, err)
 	}
@@ -225,6 +249,14 @@ func (r *DataReader) FilteredOut() uint64 { return r.filteredOut }
 
 // TransportStats exposes the underlying transport receiver counters.
 func (r *DataReader) TransportStats() transport.ReceiverStats { return r.receiver.Stats() }
+
+// TransportSpec returns the spec of the newest transport epoch the reader's
+// binding has learned (the initial spec until a hot-swap is announced).
+func (r *DataReader) TransportSpec() transport.Spec { return r.receiver.Spec() }
+
+// TransportEpochs reports every transport generation the reader has seen on
+// this topic, oldest first, including drain progress and latency.
+func (r *DataReader) TransportEpochs() []transport.EpochInfo { return r.receiver.Epochs() }
 
 // Topic returns the reader's topic.
 func (r *DataReader) Topic() *Topic { return r.topic }

@@ -2,6 +2,8 @@ package dds
 
 import (
 	"fmt"
+
+	"adamant/internal/transport"
 )
 
 // DataWriter publishes samples on one topic.
@@ -9,20 +11,16 @@ type DataWriter struct {
 	participant *DomainParticipant
 	topic       *Topic
 	qos         WriterQoS
-	sender      transportSender
-	closed      bool
-}
-
-// transportSender is the subset of transport.Sender the writer uses;
-// aliased for test seams.
-type transportSender interface {
-	Publish(payload []byte) error
-	Seq() uint64
-	Close() error
+	sender      *transport.SenderBinding
+	// pinned marks writers whose transport was fixed by QoS (an explicit
+	// override or best-effort reliability); Rebind leaves them alone.
+	pinned bool
+	closed bool
 }
 
 // CreateDataWriter builds a writer for topic with the given QoS. The
-// writer's transport instance is resolved from the participant registry.
+// writer's transport instance is resolved from the participant registry and
+// wrapped in a hot-swap binding so Rebind can change it live.
 func (p *DomainParticipant) CreateDataWriter(topic *Topic, qos WriterQoS) (*DataWriter, error) {
 	if p.closed {
 		return nil, ErrEntityClosed
@@ -31,11 +29,16 @@ func (p *DomainParticipant) CreateDataWriter(topic *Topic, qos WriterQoS) (*Data
 		return nil, fmt.Errorf("dds: topic does not belong to this participant")
 	}
 	spec := resolveSpec(p.cfg.Transport, qos.Transport, qos.Reliability)
-	sender, err := p.cfg.Registry.NewSender(spec, p.transportConfig(topic, nil))
+	sender, err := transport.NewSenderBinding(transport.BindingConfig{
+		Config:   p.transportConfig(topic, nil),
+		Registry: p.cfg.Registry,
+		Spec:     spec,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("dds: creating writer transport %s: %w", spec, err)
 	}
-	w := &DataWriter{participant: p, topic: topic, qos: qos, sender: sender}
+	pinned := qos.Transport.Name != "" || qos.Reliability == BestEffort
+	w := &DataWriter{participant: p, topic: topic, qos: qos, sender: sender, pinned: pinned}
 	p.writers = append(p.writers, w)
 	return w, nil
 }
@@ -60,6 +63,16 @@ func (w *DataWriter) QoS() WriterQoS { return w.qos }
 
 // Seq returns the number of samples written.
 func (w *DataWriter) Seq() uint64 { return w.sender.Seq() }
+
+// TransportSpec returns the writer's current (newest-epoch) transport spec.
+func (w *DataWriter) TransportSpec() transport.Spec { return w.sender.Spec() }
+
+// TransportEpoch returns the writer's current transport generation number.
+func (w *DataWriter) TransportEpoch() uint16 { return w.sender.Epoch() }
+
+// Pinned reports whether the writer's transport is fixed by its QoS and
+// therefore exempt from participant-wide Rebind.
+func (w *DataWriter) Pinned() bool { return w.pinned }
 
 // Close releases the writer's transport instance.
 func (w *DataWriter) Close() error {

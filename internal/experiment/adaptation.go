@@ -1,0 +1,453 @@
+package experiment
+
+// The adaptation figure closes the loop the paper leaves as future work:
+// "when the system detects environmental changes... supervised machine
+// learning can provide guidance to support QoS for the new configuration".
+// A drifting environment (the workload's rate and the network's loss change
+// mid-run) is driven twice: once per candidate protocol held fixed for the
+// whole run (the best any static configuration can do), and once with the
+// in-mission Adaptor hot-swapping the transport through Participant.Rebind
+// when the drift crosses its tolerances. The figure reports the composite
+// QoS score of every static run against the adaptive run, plus the cost of
+// adapting: the Rebind apply time and how long each superseded transport
+// generation took to drain on the slowest receiver.
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"adamant/internal/core"
+	"adamant/internal/dds"
+	"adamant/internal/env"
+	"adamant/internal/metrics"
+	"adamant/internal/netem"
+	"adamant/internal/sim"
+	"adamant/internal/transport"
+	"adamant/internal/transport/protocols"
+	"adamant/internal/wire"
+)
+
+// DriftPhase is one leg of a drifting environment: the writer publishes
+// Samples samples at RateHz while every receiver sees LossPct end-host
+// loss. Consecutive phases model the environmental change the adaptor is
+// meant to notice.
+type DriftPhase struct {
+	Samples int
+	RateHz  float64
+	LossPct float64
+}
+
+func (p DriftPhase) period() time.Duration {
+	return time.Duration(float64(time.Second) / p.RateHz)
+}
+
+// AdaptationConfig describes the drifting-environment experiment.
+type AdaptationConfig struct {
+	Machine      netem.Machine
+	Bandwidth    netem.Bandwidth
+	Impl         dds.Impl
+	Receivers    int
+	PayloadBytes int
+	Metric       core.Metric
+	Seed         int64
+	// Phases is the drift script, played in order. At each phase boundary
+	// the publish rate changes and every receiver's loss is re-set.
+	Phases []DriftPhase
+	// Interval and Cooldown tune the in-mission Adaptor.
+	Interval time.Duration
+	Cooldown time.Duration
+}
+
+func (c *AdaptationConfig) fillDefaults() {
+	if c.Machine.Name == "" {
+		c.Machine = netem.PC3000
+	}
+	if c.Bandwidth == 0 {
+		c.Bandwidth = netem.Gbps1
+	}
+	if c.Receivers == 0 {
+		c.Receivers = 3
+	}
+	if c.PayloadBytes == 0 {
+		c.PayloadBytes = 12
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if len(c.Phases) == 0 {
+		// A calm high-rate start (any NAKcast wins: no loss, nothing to
+		// repair), then the network degrades while the application slows —
+		// the regime where Ricochet's proactive FEC beats reactive NAK
+		// repair (the paper's Figure 4 environment). The two phases have
+		// different winners, so a static choice must lose one of them.
+		c.Phases = []DriftPhase{
+			{Samples: 600, RateHz: 50, LossPct: 0},
+			{Samples: 600, RateHz: 25, LossPct: 5},
+		}
+	}
+	if c.Interval <= 0 {
+		c.Interval = 50 * time.Millisecond
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 250 * time.Millisecond
+	}
+}
+
+func (c AdaptationConfig) validate() error {
+	if len(c.Phases) < 1 {
+		return errors.New("experiment: adaptation needs at least one phase")
+	}
+	for i, p := range c.Phases {
+		if p.Samples < 1 || p.RateHz <= 0 || p.LossPct < 0 || p.LossPct > 100 {
+			return fmt.Errorf("experiment: adaptation phase %d invalid: %+v", i, p)
+		}
+	}
+	if c.Receivers < 1 {
+		return errors.New("experiment: adaptation needs at least one receiver")
+	}
+	return nil
+}
+
+func (c AdaptationConfig) totalSamples() int {
+	total := 0
+	for _, p := range c.Phases {
+		total += p.Samples
+	}
+	return total
+}
+
+func (c AdaptationConfig) publishTime() time.Duration {
+	var total time.Duration
+	for _, p := range c.Phases {
+		total += time.Duration(p.Samples) * p.period()
+	}
+	return total
+}
+
+func (c AdaptationConfig) features(p DriftPhase) core.Features {
+	return core.FeaturesFor(c.Machine, c.Bandwidth, c.Impl,
+		p.LossPct, c.Receivers, p.RateHz, c.Metric)
+}
+
+// AdaptationRow is one contender's result over the full drifting run.
+type AdaptationRow struct {
+	Label   string
+	Spec    transport.Spec // zero-valued for the adaptive row
+	Summary metrics.Summary
+	Score   float64 // lower is better (ReLate2 family)
+}
+
+// AdaptationReport is everything the adaptation figure shows.
+type AdaptationReport struct {
+	Config AdaptationConfig
+	// PhaseWinners[k] is the candidate the calibration sweep measured best
+	// for phase k in isolation — the oracle the adaptive run's table
+	// selector is loaded with.
+	PhaseWinners []transport.Spec
+	// Static holds one row per candidate protocol held fixed across the
+	// whole drift, in Candidates() order; BestStatic indexes the winner.
+	Static     []AdaptationRow
+	BestStatic int
+	Adaptive   AdaptationRow
+	// Switches are the live reconfigurations the adaptive run performed;
+	// ApplyTime is the host-clock cost of each Participant.Rebind call.
+	// SwitchAt[k] is switch k's simulation time relative to run start.
+	Switches []core.SwitchRecord
+	SwitchAt []time.Duration
+	// DrainLatencyMax[k] is how long superseded transport generation k took
+	// to finish delivering on the slowest receiver after its handoff — the
+	// tail of the reconfiguration cost.
+	DrainLatencyMax []time.Duration
+}
+
+// AdaptiveWins reports whether the adaptive run scored at least as well as
+// the best static run, within tolerance (a fraction: 0.05 allows adaptive
+// to be up to 5% worse — switch transients are not free).
+func (r AdaptationReport) AdaptiveWins(tolerance float64) bool {
+	if len(r.Static) == 0 {
+		return false
+	}
+	return r.Adaptive.Score <= r.Static[r.BestStatic].Score*(1+tolerance)
+}
+
+// String renders the figure as a text table.
+func (r AdaptationReport) String() string {
+	var b strings.Builder
+	metric := "ReLate2"
+	if r.Config.Metric == core.MetricReLate2Jit {
+		metric = "ReLate2Jit"
+	}
+	fmt.Fprintf(&b, "adaptation figure: %d-phase drift, %s (lower is better)\n", len(r.Config.Phases), metric)
+	for i, p := range r.Config.Phases {
+		fmt.Fprintf(&b, "  phase %d: %d samples @ %gHz, %g%% loss  (isolated winner: %s)\n",
+			i, p.Samples, p.RateHz, p.LossPct, r.PhaseWinners[i])
+	}
+	for i, row := range r.Static {
+		mark := "  "
+		if i == r.BestStatic {
+			mark = "* "
+		}
+		fmt.Fprintf(&b, "  %sstatic %-28s %-10s %10.1f  rel=%.2f%% lat=%.0fus\n",
+			mark, row.Label, metric, row.Score, row.Summary.Reliability(), row.Summary.AvgLatencyUs)
+	}
+	fmt.Fprintf(&b, "  > adaptive %-26s %-10s %10.1f  rel=%.2f%% lat=%.0fus\n",
+		r.Adaptive.Label, metric, r.Adaptive.Score, r.Adaptive.Summary.Reliability(), r.Adaptive.Summary.AvgLatencyUs)
+	for i, sw := range r.Switches {
+		drain := time.Duration(0)
+		if i < len(r.DrainLatencyMax) {
+			drain = r.DrainLatencyMax[i]
+		}
+		at := time.Duration(0)
+		if i < len(r.SwitchAt) {
+			at = r.SwitchAt[i]
+		}
+		fmt.Fprintf(&b, "  switch %d: -> %s at t=%v (apply %v, old generation drained in %v)\n",
+			i, sw.Spec, at, sw.ApplyTime, drain)
+	}
+	return b.String()
+}
+
+// RunAdaptationFigure runs the whole figure: a per-phase calibration sweep
+// over every candidate (building the oracle table), one full drifting run
+// per static candidate, and one adaptive run.
+func RunAdaptationFigure(cfg AdaptationConfig) (AdaptationReport, error) {
+	cfg.fillDefaults()
+	if err := cfg.validate(); err != nil {
+		return AdaptationReport{}, err
+	}
+	report := AdaptationReport{Config: cfg}
+
+	// Calibration: measure every candidate against each phase held steady,
+	// exactly the paper's offline supervised sweep, and load the winners
+	// into the exact-match table the adaptor queries at runtime.
+	table := core.NewTableSelector()
+	cands := core.Candidates()
+	for pi, p := range cfg.Phases {
+		best, bestScore := 0, 0.0
+		for ci, spec := range cands {
+			ss, err := RunN(Config{
+				Machine: cfg.Machine, Bandwidth: cfg.Bandwidth, Impl: cfg.Impl,
+				LossPct: p.LossPct, Receivers: cfg.Receivers, RateHz: p.RateHz,
+				Samples: p.Samples, PayloadBytes: cfg.PayloadBytes, Protocol: spec,
+				Seed: sim.DeriveSeed(cfg.Seed, fmt.Sprintf("adapt-cal-%d-%d", pi, ci)),
+			}, 3)
+			if err != nil {
+				return AdaptationReport{}, fmt.Errorf("calibrating phase %d with %s: %w", pi, spec, err)
+			}
+			if score := MeanScore(ss, cfg.Metric); ci == 0 || score < bestScore {
+				best, bestScore = ci, score
+			}
+		}
+		report.PhaseWinners = append(report.PhaseWinners, cands[best])
+		table.Put(cfg.features(p), cands[best])
+	}
+
+	// Static baselines: every candidate rides out the full drift unchanged.
+	for ci, spec := range cands {
+		res, err := runDrift(cfg, spec, nil)
+		if err != nil {
+			return AdaptationReport{}, fmt.Errorf("static %s: %w", spec, err)
+		}
+		row := AdaptationRow{Label: spec.String(), Spec: spec,
+			Summary: res.summary, Score: Score(res.summary, cfg.Metric)}
+		report.Static = append(report.Static, row)
+		if row.Score < report.Static[report.BestStatic].Score {
+			report.BestStatic = ci
+		}
+	}
+
+	// The adaptive run: boot on phase 0's winner, let the adaptor re-query
+	// the table when the environment drifts and hot-swap the live writers.
+	res, err := runDrift(cfg, report.PhaseWinners[0], table)
+	if err != nil {
+		return AdaptationReport{}, fmt.Errorf("adaptive run: %w", err)
+	}
+	report.Adaptive = AdaptationRow{Label: "(oracle table)",
+		Summary: res.summary, Score: Score(res.summary, cfg.Metric)}
+	report.Switches = res.switches
+	report.SwitchAt = res.switchAt
+	report.DrainLatencyMax = res.drains
+	return report, nil
+}
+
+// driftResult is one drifting run's outcome.
+type driftResult struct {
+	summary  metrics.Summary
+	switches []core.SwitchRecord
+	switchAt []time.Duration // sim time of each switch, relative to start
+	drains   []time.Duration // per superseded generation, slowest receiver
+}
+
+// runDrift plays the drift script over a live DDS stack. With a nil
+// selector the transport stays fixed (a static baseline); with a selector
+// an Adaptor watches the drift and a Rebinder hot-swaps the writer's
+// transport mid-run.
+func runDrift(cfg AdaptationConfig, initial transport.Spec, selector core.Selector) (driftResult, error) {
+	kernel := sim.New(sim.DeriveSeed(cfg.Seed, "adapt-drift-"+initial.String()))
+	totalSamples := cfg.totalSamples()
+	var start time.Time
+	kernel.SetEventLimit(uint64(totalSamples)*uint64(cfg.Receivers)*200 + 10_000_000)
+	e := env.NewSim(kernel)
+	start = e.Now()
+	network, err := netem.New(e, netem.Config{Bandwidth: cfg.Bandwidth})
+	if err != nil {
+		return driftResult{}, err
+	}
+	reg := protocols.MustRegistry()
+
+	writerNode := network.AddNode(cfg.Machine)
+	readerNodes := make([]*netem.Node, cfg.Receivers)
+	readerIDs := make([]wire.NodeID, cfg.Receivers)
+	for i := range readerNodes {
+		readerNodes[i] = network.AddNode(cfg.Machine)
+		readerNodes[i].SetLoss(cfg.Phases[0].LossPct)
+		readerIDs[i] = readerNodes[i].Local()
+	}
+	receivers := transport.StaticReceivers(readerIDs...)
+
+	mkParticipant := func(node *netem.Node) (*dds.DomainParticipant, error) {
+		return dds.NewParticipant(dds.ParticipantConfig{
+			Env: e, Endpoint: node, Registry: reg, Transport: initial,
+			Impl: cfg.Impl, SenderID: writerNode.Local(), Receivers: receivers,
+		})
+	}
+	writerP, err := mkParticipant(writerNode)
+	if err != nil {
+		return driftResult{}, err
+	}
+	topic, err := writerP.CreateTopic(topicName, dds.TopicQoS{Reliability: dds.Reliable})
+	if err != nil {
+		return driftResult{}, err
+	}
+	writer, err := writerP.CreateDataWriter(topic, dds.WriterQoS{Reliability: dds.Reliable})
+	if err != nil {
+		return driftResult{}, err
+	}
+	collectors := make([]metrics.Collector, cfg.Receivers)
+	tail := metrics.NewLatencyTail()
+	readers := make([]*dds.DataReader, cfg.Receivers)
+	for i := range readerNodes {
+		i := i
+		p, err := mkParticipant(readerNodes[i])
+		if err != nil {
+			return driftResult{}, err
+		}
+		rt, err := p.CreateTopic(topicName, dds.TopicQoS{Reliability: dds.Reliable})
+		if err != nil {
+			return driftResult{}, err
+		}
+		readers[i], err = p.CreateDataReader(rt, dds.ReaderQoS{Reliability: dds.Reliable, History: dds.KeepLast, Depth: 1},
+			dds.ListenerFuncs{Data: func(s dds.Sample) {
+				collectors[i].OnDeliver(s.Info.SentAt, s.Info.ReceivedAt, s.Info.Recovered)
+				tail.Add(float64(s.Info.Latency()) / float64(time.Microsecond))
+			}})
+		if err != nil {
+			return driftResult{}, err
+		}
+	}
+
+	// The drift script: phase index advances as samples go out; each phase
+	// boundary re-sets every receiver's loss. phase is read by both the
+	// publish tick and the adaptor's observe callback (serial env context).
+	phase := 0
+	var rebinder *core.Rebinder
+	var adaptor *core.Adaptor
+	if selector != nil {
+		rebinder, err = core.NewRebinder(e, writerP)
+		if err != nil {
+			return driftResult{}, err
+		}
+		adaptor, err = core.NewAdaptor(e, selector,
+			core.Decision{Features: cfg.features(cfg.Phases[0]), Spec: initial},
+			func() core.Observation {
+				p := cfg.Phases[phase]
+				return core.Observation{Receivers: cfg.Receivers, RateHz: p.RateHz, LossPct: p.LossPct}
+			},
+			rebinder.Reconfigure,
+			core.AdaptorOptions{Interval: cfg.Interval, Cooldown: cfg.Cooldown})
+		if err != nil {
+			return driftResult{}, err
+		}
+	}
+
+	payload := make([]byte, cfg.PayloadBytes)
+	rng := kernel.Rand("experiment/payload")
+	published, phaseSent := 0, 0
+	var writeErr error
+	var tick func()
+	tick = func() {
+		if published >= totalSamples {
+			writeErr = writer.Close()
+			return
+		}
+		if phaseSent >= cfg.Phases[phase].Samples {
+			phase++
+			phaseSent = 0
+			for _, n := range readerNodes {
+				n.SetLoss(cfg.Phases[phase].LossPct)
+			}
+		}
+		rng.Read(payload)
+		if err := writer.Write(payload); err != nil {
+			writeErr = err
+			return
+		}
+		published++
+		phaseSent++
+		e.Schedule(cfg.Phases[phase].period(), tick)
+	}
+	e.Post(tick)
+
+	// The adaptor re-arms its check timer forever, so the kernel cannot
+	// simply drain: run past the publish window, stop the adaptor, then
+	// drain the rest (tail recovery, swap announcements) to quiescence.
+	if err := kernel.RunFor(cfg.publishTime() + 5*time.Second); err != nil {
+		return driftResult{}, err
+	}
+	if adaptor != nil {
+		if err := adaptor.Close(); err != nil {
+			return driftResult{}, err
+		}
+	}
+	if err := kernel.Run(); err != nil {
+		return driftResult{}, err
+	}
+	if writeErr != nil {
+		return driftResult{}, writeErr
+	}
+
+	var merged metrics.Collector
+	var bw metrics.Bandwidth
+	for i := range collectors {
+		merged.Merge(&collectors[i])
+		bw.Merge(readerNodes[i].RxBandwidth())
+	}
+	res := driftResult{}
+	res.summary = merged.Summary(uint64(totalSamples) * uint64(cfg.Receivers))
+	res.summary.P50LatencyUs, res.summary.P95LatencyUs, res.summary.P99LatencyUs = tail.Snapshot()
+	res.summary.Bytes = bw.Total()
+	res.summary.AvgBps = bw.MeanRate()
+	res.summary.BurstinessBps = bw.Burstiness()
+	if rebinder != nil {
+		res.switches = rebinder.Switches()
+		for _, sw := range res.switches {
+			res.switchAt = append(res.switchAt, sw.At.Sub(start))
+		}
+		// Drain cost of superseded generation k = the slowest receiver's
+		// DrainLatency for epoch k.
+		for k := 0; k < len(res.switches); k++ {
+			var max time.Duration
+			for _, r := range readers {
+				for _, ep := range r.TransportEpochs() {
+					if int(ep.Epoch) == k && ep.Done && ep.DrainLatency > max {
+						max = ep.DrainLatency
+					}
+				}
+			}
+			res.drains = append(res.drains, max)
+		}
+	}
+	return res, nil
+}

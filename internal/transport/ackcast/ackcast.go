@@ -164,16 +164,22 @@ func NewSender(cfg transport.Config, opts Options) (*Sender, error) {
 	}
 	opts.fillDefaults()
 	s := &Sender{
-		cfg:   cfg,
-		opts:  opts,
-		mux:   transport.NewMux(cfg.Endpoint),
-		store: make(map[uint64]storeEntry),
-		hist:  make([]histEntry, opts.History),
-		cums:  make(map[wire.NodeID]uint64),
+		cfg:     cfg,
+		opts:    opts,
+		mux:     transport.NewMux(cfg.Endpoint),
+		seq:     cfg.BaseSeq,
+		sent:    cfg.BaseSeq,
+		lastMin: cfg.BaseSeq,
+		store:   make(map[uint64]storeEntry),
+		hist:    make([]histEntry, opts.History),
+		cums:    make(map[wire.NodeID]uint64),
 	}
 	for _, id := range cfg.Receivers() {
 		if id != cfg.Endpoint.Local() {
-			s.cums[id] = 0
+			// Receivers start acknowledged up to the base, or the window
+			// arithmetic would count the previous epochs' sequence space as
+			// in flight and wedge the flow control.
+			s.cums[id] = cfg.BaseSeq
 			s.ids = append(s.ids, id)
 		}
 	}
@@ -344,8 +350,8 @@ func (s *Sender) onAck(src wire.NodeID, pkt *wire.Packet) {
 		// re-admitting an unservable receiver would wedge the window: its
 		// cum could never advance, so the stall detector would just expel
 		// it again.
-		if body.Cumulative > s.sent {
-			return // bogus: acknowledges the future
+		if body.Cumulative > s.sent || body.Cumulative < s.cfg.BaseSeq {
+			return // bogus: acknowledges the future or another epoch's space
 		}
 		if s.sent-body.Cumulative > uint64(len(s.hist)) {
 			return // too far behind the resync ring to ever catch up
@@ -406,11 +412,12 @@ func NewReceiver(cfg transport.Config, opts Options) (*Receiver, error) {
 		cfg:         cfg,
 		opts:        opts,
 		mux:         transport.NewMux(cfg.Endpoint),
-		nextDeliver: 1,
+		nextDeliver: cfg.BaseSeq + 1,
 		buf:         make(map[uint64]bufEntry),
 	}
 	r.mux.Handle(wire.TypeData, r.onData)
 	r.mux.Handle(wire.TypeRetrans, r.onData)
+	r.mux.Handle(wire.TypeHeartbeat, r.onHeartbeat)
 	return r, nil
 }
 
@@ -423,8 +430,20 @@ func (r *Receiver) Close() error {
 	return nil
 }
 
+// onHeartbeat answers any sender heartbeat with a fresh cumulative ACK.
+// ackcast senders emit no heartbeats of their own; this path exists for the
+// hot-swap binding, which injects a synthetic end-of-stream heartbeat so a
+// receiver that was partitioned across a swap re-ACKs, gets re-admitted by
+// the (closed but still draining) old sender, and receives its backfill.
+func (r *Receiver) onHeartbeat(src wire.NodeID, pkt *wire.Packet) {
+	if r.closed || pkt.Stream != r.cfg.Stream {
+		return
+	}
+	r.sendAck(src)
+}
+
 func (r *Receiver) onData(src wire.NodeID, pkt *wire.Packet) {
-	if r.closed || pkt.Stream != r.cfg.Stream || pkt.Seq == 0 {
+	if r.closed || pkt.Stream != r.cfg.Stream || pkt.Seq <= r.cfg.BaseSeq {
 		return
 	}
 	if pkt.Seq < r.nextDeliver {

@@ -51,7 +51,7 @@ func NewSender(cfg transport.Config) (*Sender, error) {
 	if err := cfg.ValidateSender(); err != nil {
 		return nil, err
 	}
-	return &Sender{cfg: cfg}, nil
+	return &Sender{cfg: cfg, seq: cfg.BaseSeq}, nil
 }
 
 // Publish implements transport.Sender.
@@ -97,7 +97,7 @@ func NewReceiver(cfg transport.Config) (*Receiver, error) {
 	if err := cfg.ValidateReceiver(); err != nil {
 		return nil, err
 	}
-	r := &Receiver{cfg: cfg, mux: transport.NewMux(cfg.Endpoint), seen: make(map[uint64]bool)}
+	r := &Receiver{cfg: cfg, mux: transport.NewMux(cfg.Endpoint), seen: make(map[uint64]bool), low: cfg.BaseSeq}
 	r.mux.Handle(wire.TypeData, r.onData)
 	return r, nil
 }

@@ -39,7 +39,9 @@ import (
 	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"adamant/internal/env"
@@ -53,6 +55,14 @@ import (
 	"adamant/internal/wire"
 )
 
+// TransportSwitch is one scripted mid-run hot-swap: at At, the sender
+// binding drains its current protocol generation and hands the stream off
+// to Spec (see transport.SenderBinding).
+type TransportSwitch struct {
+	At   time.Duration
+	Spec transport.Spec
+}
+
 // CrucibleScenario parameterizes one crucible cell.
 type CrucibleScenario struct {
 	Spec      transport.Spec
@@ -64,6 +74,26 @@ type CrucibleScenario struct {
 	// Settle is how long the simulation keeps running after the later of
 	// the publish window and the chaos horizon, before the final drain.
 	Settle time.Duration
+	// Switches scripts transport hot-swaps during the run, in time order.
+	// The invariant checker derives the cell's effective guarantees from
+	// the whole protocol chain: ordering and completeness are only global
+	// obligations when every generation advertises them.
+	Switches []TransportSwitch
+}
+
+// epochSpecs returns the effective protocol chain: the initial spec plus
+// every switch that actually changes the protocol (same-spec swaps are
+// binding no-ops and create no epoch).
+func (cs CrucibleScenario) epochSpecs() []transport.Spec {
+	specs := []transport.Spec{cs.Spec}
+	cur := cs.Spec.String()
+	for _, sw := range cs.Switches {
+		if s := sw.Spec.String(); s != cur {
+			specs = append(specs, sw.Spec)
+			cur = s
+		}
+	}
+	return specs
 }
 
 func (cs *CrucibleScenario) fillDefaults() {
@@ -84,9 +114,14 @@ func (cs *CrucibleScenario) fillDefaults() {
 	}
 }
 
-// Name identifies the cell in reports: spec/scenario/seed.
+// Name identifies the cell in reports: spec[->spec@t...]/scenario/seed.
 func (cs CrucibleScenario) Name() string {
-	return fmt.Sprintf("%s/%s/seed=%d", cs.Spec, cs.Chaos.Name, cs.Seed)
+	var b strings.Builder
+	b.WriteString(cs.Spec.String())
+	for _, sw := range cs.Switches {
+		fmt.Fprintf(&b, "->%s@%s", sw.Spec, sw.At)
+	}
+	return fmt.Sprintf("%s/%s/seed=%d", b.String(), cs.Chaos.Name, cs.Seed)
 }
 
 // CrucibleOutcome is everything the invariant checkers assert on.
@@ -103,6 +138,14 @@ type CrucibleOutcome struct {
 	// IDs[i] is receiver i's node ID; SenderID is the publisher's.
 	IDs      []wire.NodeID
 	SenderID wire.NodeID
+	// Epochs[i] is receiver i's transport-generation chain after the drain:
+	// which protocols it saw, each generation's sequence slice, and whether
+	// and how fast superseded generations drained.
+	Epochs [][]transport.EpochInfo
+	// Chain is the sender's applied rebind chain — the ground truth the
+	// receivers' Epochs are checked against. It can be shorter than the
+	// scenario's switch schedule when a switch raced sender shutdown.
+	Chain []wire.RebindRecord
 	// Hash is the sha256 of the canonical outcome serialization. Two runs
 	// of the same cell must produce the same hash.
 	Hash string
@@ -137,13 +180,15 @@ func ExecuteCrucible(cs CrucibleScenario) (CrucibleOutcome, error) {
 		Views:      make([]membership.View, cs.Receivers),
 		IDs:        ids,
 		SenderID:   senderNode.Local(),
+		Epochs:     make([][]transport.EpochInfo, cs.Receivers),
 	}
 
 	// Per-receiver stack: splitter so membership (control stream) and the
 	// protocol (stream 1) share the node, heartbeat detector, protocol
-	// receiver fed by the detector's live view.
+	// receiver — wrapped in a hot-swap binding — fed by the detector's live
+	// view.
 	detectors := make([]*membership.Detector, cs.Receivers)
-	instances := make([]transport.Receiver, cs.Receivers)
+	instances := make([]*transport.ReceiverBinding, cs.Receivers)
 	for i := range readerNodes {
 		i := i
 		split := transport.NewSplitter(readerNodes[i])
@@ -156,25 +201,33 @@ func ExecuteCrucible(cs CrucibleScenario) (CrucibleOutcome, error) {
 			return CrucibleOutcome{}, fmt.Errorf("detector %d: %w", i, err)
 		}
 		detectors[i] = det
-		r, err := reg.NewReceiver(cs.Spec, transport.Config{
-			Env:       e,
-			Endpoint:  split.Route(1),
-			Stream:    1,
-			SenderID:  senderNode.Local(),
-			Receivers: det.Receivers,
-			Deliver: func(d transport.Delivery) {
-				d.Payload = append([]byte(nil), d.Payload...)
-				out.Deliveries[i] = append(out.Deliveries[i], d)
+		r, err := transport.NewReceiverBinding(transport.BindingConfig{
+			Config: transport.Config{
+				Env:       e,
+				Endpoint:  split.Route(1),
+				Stream:    1,
+				SenderID:  senderNode.Local(),
+				Receivers: det.Receivers,
+				Deliver: func(d transport.Delivery) {
+					d.Payload = append([]byte(nil), d.Payload...)
+					out.Deliveries[i] = append(out.Deliveries[i], d)
+				},
 			},
+			Registry: reg,
+			Spec:     cs.Spec,
 		})
 		if err != nil {
 			return CrucibleOutcome{}, fmt.Errorf("receiver %d: %w", i, err)
 		}
 		instances[i] = r
 	}
-	sender, err := reg.NewSender(cs.Spec, transport.Config{
-		Env: e, Endpoint: senderNode, Stream: 1,
-		Receivers: transport.StaticReceivers(ids...),
+	sender, err := transport.NewSenderBinding(transport.BindingConfig{
+		Config: transport.Config{
+			Env: e, Endpoint: senderNode, Stream: 1,
+			Receivers: transport.StaticReceivers(ids...),
+		},
+		Registry: reg,
+		Spec:     cs.Spec,
 	})
 	if err != nil {
 		return CrucibleOutcome{}, fmt.Errorf("sender: %w", err)
@@ -183,6 +236,26 @@ func ExecuteCrucible(cs CrucibleScenario) (CrucibleOutcome, error) {
 	horizon, err := chaos.Schedule(e, chaos.Nodes{Sender: senderNode, Receivers: readerNodes}, cs.Chaos, chaos.Hooks{})
 	if err != nil {
 		return CrucibleOutcome{}, err
+	}
+
+	// Script the transport switches. A swap failure fails the cell, except
+	// ErrClosed: a switch scheduled past the publish window races sender
+	// shutdown, and — like Participant.Rebind skipping closed writers — that
+	// race resolves as a no-op, not a fault.
+	var swapErr error
+	for _, sw := range cs.Switches {
+		sw := sw
+		if sw.At <= 0 {
+			return CrucibleOutcome{}, fmt.Errorf("switch to %s at non-positive time %v", sw.Spec, sw.At)
+		}
+		e.After(sw.At, func() {
+			if err := sender.Swap(sw.Spec); err != nil && !errors.Is(err, transport.ErrClosed) && swapErr == nil {
+				swapErr = fmt.Errorf("swap to %s at %v: %w", sw.Spec, sw.At, err)
+			}
+		})
+		if horizon < sw.At+100*time.Millisecond {
+			horizon = sw.At + 100*time.Millisecond
+		}
 	}
 
 	period := time.Duration(float64(time.Second) / cs.RateHz)
@@ -214,6 +287,9 @@ func ExecuteCrucible(cs CrucibleScenario) (CrucibleOutcome, error) {
 	if pubErr != nil {
 		return CrucibleOutcome{}, pubErr
 	}
+	if swapErr != nil {
+		return CrucibleOutcome{}, swapErr
+	}
 
 	// End-of-scenario membership, before shutdown LEAVEs rewrite it.
 	for i, det := range detectors {
@@ -235,10 +311,12 @@ func ExecuteCrucible(cs CrucibleScenario) (CrucibleOutcome, error) {
 	}
 	for i, r := range instances {
 		out.Stats[i] = r.Stats()
+		out.Epochs[i] = r.Epochs()
 		if err := r.Close(); err != nil {
 			return CrucibleOutcome{}, fmt.Errorf("receiver %d close: %w", i, err)
 		}
 	}
+	out.Chain = sender.Chain()
 	out.Hash = out.hash()
 	return out, nil
 }
@@ -256,7 +334,14 @@ func (o *CrucibleOutcome) hash() string {
 				d.Seq, d.SentAt.UnixNano(), d.DeliveredAt.UnixNano(), d.Recovered, d.Payload)
 		}
 		fmt.Fprintf(h, "stats=%+v\n", o.Stats[i])
+		for _, ep := range o.Epochs[i] {
+			fmt.Fprintf(h, "epoch=%d spec=%s base=%d cut=%d cutKnown=%t done=%t drain=%d\n",
+				ep.Epoch, ep.Spec, ep.Base, ep.Cut, ep.CutKnown, ep.Done, ep.DrainLatency)
+		}
 		fmt.Fprintf(h, "view v%d members=%v\n", o.Views[i].Version, o.Views[i].Members)
+	}
+	for _, rec := range o.Chain {
+		fmt.Fprintf(h, "chain epoch=%d cut=%d spec=%s\n", rec.Epoch, rec.Cut, rec.Spec)
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }
@@ -275,13 +360,39 @@ func CheckCrucible(cs CrucibleScenario, out CrucibleOutcome) []error {
 	fail := func(format string, args ...any) {
 		errs = append(errs, fmt.Errorf(format, args...))
 	}
-	factory, err := protocols.MustRegistry().Lookup(cs.Spec.Name)
-	if err != nil {
-		return []error{err}
+	// With a switch chain, ordering and completeness are only global
+	// obligations when EVERY generation advertises them: one best-effort
+	// epoch in the chain forfeits end-to-end completeness, one unordered
+	// epoch forfeits the global ordering guarantee.
+	reg := protocols.MustRegistry()
+	// The sender's applied chain is the ground truth (a switch scheduled
+	// past sender shutdown is a no-op and never enters it); fall back to
+	// the scenario schedule for outcomes that predate chain capture.
+	epochSpecs := cs.epochSpecs()
+	if len(out.Chain) > 0 {
+		epochSpecs = epochSpecs[:0]
+		for _, rec := range out.Chain {
+			spec, err := transport.ParseSpec(rec.Spec)
+			if err != nil {
+				return []error{fmt.Errorf("sender chain epoch %d: %w", rec.Epoch, err)}
+			}
+			epochSpecs = append(epochSpecs, spec)
+		}
 	}
-	reliable := factory.Props.Has(transport.PropNAKReliability) ||
-		factory.Props.Has(transport.PropACKReliability)
-	ordered := factory.Props.Has(transport.PropOrdered)
+	reliable, ordered := true, true
+	for _, spec := range epochSpecs {
+		factory, err := reg.Lookup(spec.Name)
+		if err != nil {
+			return []error{err}
+		}
+		if !factory.Props.Has(transport.PropNAKReliability) &&
+			!factory.Props.Has(transport.PropACKReliability) {
+			reliable = false
+		}
+		if !factory.Props.Has(transport.PropOrdered) {
+			ordered = false
+		}
+	}
 	calm := len(cs.Chaos.Events) == 0
 	_, ends := cs.Chaos.EndState(cs.Receivers)
 
@@ -326,6 +437,26 @@ func CheckCrucible(cs CrucibleScenario, out CrucibleOutcome) []error {
 			fail("receiver %d: %d deliveries for %d samples", i, len(ds), cs.Samples)
 		}
 
+		// Epoch-chain invariants: every receiver that ends the scenario
+		// connected must have learned the full protocol chain, and every
+		// superseded generation must have fully drained — a stuck drain
+		// means samples are stranded in a closed protocol's recovery state.
+		if len(out.Epochs) > i && !end.Down() {
+			eps := out.Epochs[i]
+			if len(eps) != len(epochSpecs) {
+				fail("receiver %d: saw %d transport generations, chain has %d", i, len(eps), len(epochSpecs))
+			}
+			for j, ep := range eps {
+				if j < len(epochSpecs) && ep.Spec.String() != epochSpecs[j].String() {
+					fail("receiver %d: generation %d is %s, chain says %s", i, j, ep.Spec, epochSpecs[j])
+				}
+				if j < len(eps)-1 && !ep.Done {
+					fail("receiver %d: superseded generation %d (%s) never drained (covered slice (%d,%d])",
+						i, ep.Epoch, ep.Spec, ep.Base, ep.Cut)
+				}
+			}
+		}
+
 		// Stats consistency: counters must agree with the log after the
 		// drain, and recovery state must have stayed bounded.
 		st := out.Stats[i]
@@ -355,8 +486,16 @@ func CheckCrucible(cs CrucibleScenario, out CrucibleOutcome) []error {
 				fail("receiver %d: %d/%d on the calm control scenario", i, len(ds), cs.Samples)
 			}
 		default:
-			if pct := 100 * float64(len(ds)) / float64(cs.Samples); pct < bestEffortFloorPct {
-				fail("receiver %d: best-effort delivery %.1f%% below the %.0f%% floor", i, pct, bestEffortFloorPct)
+			floor := bestEffortFloorPct
+			if cs.Samples < 400 {
+				// The calibrated floor assumes the default-length publish
+				// window, which outlasts every library scenario's fault
+				// interval. Shortened (fuzz) runs can spend most of the
+				// window inside a fault, so only liveness is required.
+				floor = 1
+			}
+			if pct := 100 * float64(len(ds)) / float64(cs.Samples); pct < floor {
+				fail("receiver %d: best-effort delivery %.1f%% below the %.0f%% floor", i, pct, floor)
 			}
 		}
 	}
@@ -447,6 +586,63 @@ func mustSpec(s string) transport.Spec {
 		panic(err)
 	}
 	return spec
+}
+
+// SwitchTargetFor returns the canonical hot-swap destination for a base
+// protocol: each hands off to a different protocol family, so the switch
+// matrix exercises every kind of epoch boundary (ordered->ordered,
+// best-effort->reliable, reliable->FEC).
+func SwitchTargetFor(spec transport.Spec) transport.Spec {
+	switch spec.Name {
+	case "bemcast":
+		return mustSpec("nakcast(timeout=5ms)")
+	case "nakcast":
+		return mustSpec("ackcast(window=64,rto=20ms)")
+	case "ackcast":
+		return mustSpec("ricochet(c=3,r=4)")
+	default: // ricochet and anything unregistered here
+		return mustSpec("nakcast(timeout=5ms)")
+	}
+}
+
+// SwitchCells builds the mid-run hot-swap matrix for the given specs: a
+// calm switch, a switch at the peak of a loss ramp, a switch at the moment
+// a partition heals, and back-to-back flapping. Every cell runs the full
+// crucible invariant set with chain-aware guarantees.
+func SwitchCells(specs []transport.Spec, seeds []int64) []CrucibleScenario {
+	ms := time.Millisecond
+	var cells []CrucibleScenario
+	for _, spec := range specs {
+		target := SwitchTargetFor(spec)
+		shapes := []struct {
+			chaos    chaos.Scenario
+			switches []TransportSwitch
+		}{
+			// Calm switch: no faults, so every chain must deliver 100%.
+			{chaos.CalmControl(), []TransportSwitch{{At: 2000 * ms, Spec: target}}},
+			// Switch at the 30% peak of the loss ramp: the old generation
+			// drains through heavy loss while the new one takes over.
+			{chaos.LossyRamp(), []TransportSwitch{{At: 1900 * ms, Spec: target}}},
+			// Switch at the instant the split-brain partition heals: half
+			// the receivers learn about the swap and the missed slice at
+			// the same time.
+			{chaos.SplitBrain(), []TransportSwitch{{At: 1600 * ms, Spec: target}}},
+			// Flapping: three swaps 300ms apart, ending on the target.
+			{chaos.CalmControl(), []TransportSwitch{
+				{At: 1200 * ms, Spec: target},
+				{At: 1500 * ms, Spec: spec},
+				{At: 1800 * ms, Spec: target},
+			}},
+		}
+		for _, sh := range shapes {
+			for _, seed := range seeds {
+				cells = append(cells, CrucibleScenario{
+					Spec: spec, Chaos: sh.chaos, Seed: seed, Switches: sh.switches,
+				})
+			}
+		}
+	}
+	return cells
 }
 
 // CrucibleCells builds the full spec x scenario x seed matrix.

@@ -17,13 +17,15 @@ const goldenHashFile = "testdata/crucible_hashes.txt"
 
 // goldenCells is the fixed sub-matrix whose outcome hashes are pinned in
 // testdata: every protocol through a calm run, a heavy partition, and
-// permanent crashes.
+// permanent crashes — plus the full hot-swap matrix (calm switch, switch at
+// loss peak, switch at partition heal, flapping) for every protocol.
 func goldenCells() []CrucibleScenario {
-	return CrucibleCells(
+	cells := CrucibleCells(
 		DefaultCrucibleSpecs(),
 		[]chaos.Scenario{chaos.CalmControl(), chaos.SplitBrain(), chaos.Cascade()},
 		[]int64{1},
 	)
+	return append(cells, SwitchCells(DefaultCrucibleSpecs(), []int64{1})...)
 }
 
 // TestCrucibleJobsDeterminism pins that the worker-pool width changes
@@ -35,6 +37,7 @@ func TestCrucibleJobsDeterminism(t *testing.T) {
 		[]chaos.Scenario{chaos.SplitBrain(), chaos.Churn()},
 		[]int64{1},
 	)
+	cells = append(cells, SwitchCells(DefaultCrucibleSpecs(), []int64{1})...)
 	serial := RunCrucibleMatrix(cells, 1, nil)
 	wide := RunCrucibleMatrix(cells, 8, nil)
 	for i := range cells {

@@ -205,6 +205,7 @@ func NewSender(cfg transport.Config, opts Options) (*Sender, error) {
 		cfg:    cfg,
 		opts:   opts,
 		mux:    transport.NewMux(cfg.Endpoint),
+		seq:    cfg.BaseSeq,
 		hist:   make([]histEntry, opts.History),
 		rtqSet: make(map[retransReq]bool),
 	}
@@ -414,7 +415,8 @@ func NewReceiver(cfg transport.Config, opts Options) (*Receiver, error) {
 		opts:        opts,
 		mux:         transport.NewMux(cfg.Endpoint),
 		sender:      cfg.SenderID,
-		nextDeliver: 1,
+		nextDeliver: cfg.BaseSeq + 1,
+		maxSeen:     cfg.BaseSeq,
 		buf:         make(map[uint64]bufEntry),
 		missing:     make(map[uint64]*missState),
 		abandoned:   make(map[uint64]bool),
@@ -451,8 +453,8 @@ func (r *Receiver) onData(src wire.NodeID, pkt *wire.Packet) {
 	// topic.
 	r.sender = src
 	seq := pkt.Seq
-	if seq == 0 {
-		return
+	if seq <= r.cfg.BaseSeq {
+		return // below this instance's sequence space (covers bogus seq 0)
 	}
 	if r.isDuplicate(seq) {
 		r.stats.Duplicates++

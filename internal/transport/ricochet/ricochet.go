@@ -211,7 +211,7 @@ func NewSender(cfg transport.Config) (*Sender, error) {
 	if err := cfg.ValidateSender(); err != nil {
 		return nil, err
 	}
-	return &Sender{cfg: cfg}, nil
+	return &Sender{cfg: cfg, seq: cfg.BaseSeq}, nil
 }
 
 // Publish implements transport.Sender.
@@ -272,12 +272,13 @@ func NewReceiver(cfg transport.Config, opts Options) (*Receiver, error) {
 	}
 	opts.fillDefaults()
 	r := &Receiver{
-		cfg:     cfg,
-		opts:    opts,
-		mux:     transport.NewMux(cfg.Endpoint),
-		rng:     cfg.Env.Rand(fmt.Sprintf("ricochet/%d", cfg.Endpoint.Local())),
-		window:  make(map[uint64]*wire.Packet),
-		stagger: opts.staggerFor(cfg.Endpoint.Local()),
+		cfg:      cfg,
+		opts:     opts,
+		mux:      transport.NewMux(cfg.Endpoint),
+		rng:      cfg.Env.Rand(fmt.Sprintf("ricochet/%d", cfg.Endpoint.Local())),
+		window:   make(map[uint64]*wire.Packet),
+		lowWater: cfg.BaseSeq,
+		stagger:  opts.staggerFor(cfg.Endpoint.Local()),
 	}
 	r.emitq = transport.NewEmitQueue(cfg.Env, cfg.Deliver, &r.closed)
 	r.mux.Handle(wire.TypeData, r.onData)

@@ -188,6 +188,12 @@ type Config struct {
 	// OnLost, when non-nil, is notified of sequence numbers the transport
 	// has given up recovering (maps to the DDS SAMPLE_LOST status).
 	OnLost func(seq uint64)
+	// BaseSeq rebases the instance's sequence space: the sender numbers its
+	// first sample BaseSeq+1 and receivers treat sequences <= BaseSeq as
+	// out of window. Hot-swap bindings use it so a new protocol generation
+	// continues the stream's sequence space from the previous generation's
+	// cut; zero (the default) is the classic from-the-start behavior.
+	BaseSeq uint64
 }
 
 func (c *Config) validateCommon() error {

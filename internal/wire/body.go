@@ -247,3 +247,81 @@ func DecodeHeartbeat(buf []byte) (*HeartbeatBody, error) {
 		Incarnation: binary.BigEndian.Uint32(buf[8:12]),
 	}, nil
 }
+
+// RebindRecord describes one completed or in-progress transport switch on a
+// stream: the epoch that was opened, the cut sequence at which the previous
+// epoch's sequence space ends (the new epoch publishes from Cut+1 onward),
+// and the canonical spec string of the new epoch's protocol.
+type RebindRecord struct {
+	Epoch uint16
+	Cut   uint64 // highest sequence owned by the previous epoch
+	Spec  string // canonical transport spec, e.g. "nakcast(timeout=10ms)"
+}
+
+// RebindBody is the payload of a TypeRebind packet: the full chain of
+// switches performed on the stream, oldest first. Carrying the whole chain
+// (rather than just the latest switch) lets a receiver that was partitioned
+// across several swaps reconstruct every generation it missed.
+type RebindBody struct {
+	Records []RebindRecord
+}
+
+const (
+	maxRebindRecords = 32
+	maxRebindSpec    = 255
+)
+
+// Encode appends the body encoding to dst.
+func (rb *RebindBody) Encode(dst []byte) ([]byte, error) {
+	if len(rb.Records) == 0 || len(rb.Records) > maxRebindRecords {
+		return dst, fmt.Errorf("%w: %d rebind records", ErrBodyInvalid, len(rb.Records))
+	}
+	dst = append(dst, byte(len(rb.Records)))
+	var b8 [8]byte
+	var b2 [2]byte
+	for _, r := range rb.Records {
+		if len(r.Spec) == 0 || len(r.Spec) > maxRebindSpec {
+			return dst, fmt.Errorf("%w: rebind spec length %d", ErrBodyInvalid, len(r.Spec))
+		}
+		binary.BigEndian.PutUint16(b2[:], r.Epoch)
+		dst = append(dst, b2[:]...)
+		binary.BigEndian.PutUint64(b8[:], r.Cut)
+		dst = append(dst, b8[:]...)
+		dst = append(dst, byte(len(r.Spec)))
+		dst = append(dst, r.Spec...)
+	}
+	return dst, nil
+}
+
+// DecodeRebind parses a RebindBody.
+func DecodeRebind(buf []byte) (*RebindBody, error) {
+	if len(buf) < 1 {
+		return nil, ErrBodyTruncated
+	}
+	n := int(buf[0])
+	if n == 0 || n > maxRebindRecords {
+		return nil, fmt.Errorf("%w: %d rebind records", ErrBodyInvalid, n)
+	}
+	rb := &RebindBody{Records: make([]RebindRecord, 0, n)}
+	off := 1
+	for i := 0; i < n; i++ {
+		if len(buf) < off+11 {
+			return nil, ErrBodyTruncated
+		}
+		var r RebindRecord
+		r.Epoch = binary.BigEndian.Uint16(buf[off : off+2])
+		r.Cut = binary.BigEndian.Uint64(buf[off+2 : off+10])
+		slen := int(buf[off+10])
+		off += 11
+		if slen == 0 {
+			return nil, fmt.Errorf("%w: empty rebind spec", ErrBodyInvalid)
+		}
+		if len(buf) < off+slen {
+			return nil, ErrBodyTruncated
+		}
+		r.Spec = string(buf[off : off+slen])
+		off += slen
+		rb.Records = append(rb.Records, r)
+	}
+	return rb, nil
+}

@@ -55,8 +55,13 @@ const (
 	TypeJoin
 	// TypeLeave announces a graceful departure from a group.
 	TypeLeave
+	// TypeRebind announces the binding's epoch chain: every transport
+	// switch performed on the stream, as (epoch, cut, spec) records.
+	// Receivers use it to instantiate protocol generations they missed and
+	// to learn where each generation's sequence space ends.
+	TypeRebind
 
-	maxType = TypeLeave
+	maxType = TypeRebind
 )
 
 var typeNames = [...]string{
@@ -68,6 +73,7 @@ var typeNames = [...]string{
 	TypeHeartbeat: "HEARTBEAT",
 	TypeJoin:      "JOIN",
 	TypeLeave:     "LEAVE",
+	TypeRebind:    "REBIND",
 }
 
 // String implements fmt.Stringer.
@@ -92,12 +98,13 @@ const (
 	FlagEOS
 )
 
-// Version is the current wire protocol version.
-const Version = 1
+// Version is the current wire protocol version. Version 2 added the
+// 16-bit epoch field (binding generation) to the header.
+const Version = 2
 
 const (
 	magic      = 0xAD
-	headerSize = 1 + 1 + 1 + 1 + 2 + 4 + 8 + 8 + 2 // magic..payload length
+	headerSize = 1 + 1 + 1 + 1 + 2 + 4 + 8 + 8 + 2 + 2 // magic..payload length
 	crcSize    = 4
 
 	// MaxPayload bounds the payload of a single packet. Experiments use
@@ -116,12 +123,17 @@ const (
 // TypeData it is stamped by the writer at publish time; for TypeRetrans it
 // preserves the original publish time so end-to-end latency accounting is
 // correct for recovered samples.
+//
+// Epoch is the binding generation the packet belongs to. A stream that has
+// never been rebound uses epoch 0; every live transport swap increments it.
+// Receivers route packets to the protocol instance of the matching epoch.
 type Packet struct {
 	Type    Type
 	Flags   uint8
 	Src     NodeID
 	Stream  StreamID
 	Seq     uint64
+	Epoch   uint16
 	SentAt  time.Time
 	Payload []byte
 }
@@ -161,7 +173,8 @@ func (p *Packet) Encode(dst []byte) ([]byte, error) {
 	binary.BigEndian.PutUint32(hdr[6:10], uint32(p.Stream))
 	binary.BigEndian.PutUint64(hdr[10:18], p.Seq)
 	binary.BigEndian.PutUint64(hdr[18:26], uint64(p.SentAt.UnixNano()))
-	binary.BigEndian.PutUint16(hdr[26:28], uint16(len(p.Payload)))
+	binary.BigEndian.PutUint16(hdr[26:28], p.Epoch)
+	binary.BigEndian.PutUint16(hdr[28:30], uint16(len(p.Payload)))
 	dst = append(dst, hdr[:]...)
 	dst = append(dst, p.Payload...)
 	sum := crc32.Checksum(dst[start:], crcTable)
@@ -194,7 +207,7 @@ func Decode(buf []byte) (*Packet, error) {
 	if !t.Valid() {
 		return nil, fmt.Errorf("%w: %d", ErrBadType, buf[2])
 	}
-	plen := int(binary.BigEndian.Uint16(buf[26:28]))
+	plen := int(binary.BigEndian.Uint16(buf[28:30]))
 	total := headerSize + plen + crcSize
 	if len(buf) < total {
 		return nil, fmt.Errorf("%w: have %d, need %d", ErrTruncated, len(buf), total)
@@ -210,6 +223,7 @@ func Decode(buf []byte) (*Packet, error) {
 		Src:    NodeID(binary.BigEndian.Uint16(buf[4:6])),
 		Stream: StreamID(binary.BigEndian.Uint32(buf[6:10])),
 		Seq:    binary.BigEndian.Uint64(buf[10:18]),
+		Epoch:  binary.BigEndian.Uint16(buf[26:28]),
 		SentAt: time.Unix(0, int64(binary.BigEndian.Uint64(buf[18:26]))),
 	}
 	if plen > 0 {

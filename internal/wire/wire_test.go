@@ -17,6 +17,7 @@ func samplePacket() *Packet {
 		Src:     7,
 		Stream:  42,
 		Seq:     123456789,
+		Epoch:   3,
 		SentAt:  time.Unix(0, 1_600_000_000_123_456_789),
 		Payload: []byte("hello, adamant"),
 	}
@@ -46,7 +47,7 @@ func TestPacketRoundTrip(t *testing.T) {
 				t.Fatalf("Decode: %v", err)
 			}
 			if got.Type != tt.pkt.Type || got.Flags != tt.pkt.Flags || got.Src != tt.pkt.Src ||
-				got.Stream != tt.pkt.Stream || got.Seq != tt.pkt.Seq {
+				got.Stream != tt.pkt.Stream || got.Seq != tt.pkt.Seq || got.Epoch != tt.pkt.Epoch {
 				t.Errorf("header mismatch: got %+v want %+v", got, tt.pkt)
 			}
 			if !got.SentAt.Equal(tt.pkt.SentAt) {
@@ -60,7 +61,7 @@ func TestPacketRoundTrip(t *testing.T) {
 }
 
 func TestPacketRoundTripProperty(t *testing.T) {
-	f := func(flags uint8, src uint16, stream uint32, seq uint64, nanos int64, payload []byte) bool {
+	f := func(flags uint8, src uint16, stream uint32, seq uint64, epoch uint16, nanos int64, payload []byte) bool {
 		if len(payload) > MaxPayload {
 			payload = payload[:MaxPayload]
 		}
@@ -70,6 +71,7 @@ func TestPacketRoundTripProperty(t *testing.T) {
 			Src:     NodeID(src),
 			Stream:  StreamID(stream),
 			Seq:     seq,
+			Epoch:   epoch,
 			SentAt:  time.Unix(0, nanos),
 			Payload: payload,
 		}
@@ -82,7 +84,8 @@ func TestPacketRoundTripProperty(t *testing.T) {
 			return false
 		}
 		return got.Flags == flags && got.Src == NodeID(src) && got.Stream == StreamID(stream) &&
-			got.Seq == seq && got.SentAt.UnixNano() == nanos && bytes.Equal(got.Payload, payload)
+			got.Seq == seq && got.Epoch == epoch && got.SentAt.UnixNano() == nanos &&
+			bytes.Equal(got.Payload, payload)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
@@ -408,6 +411,47 @@ func TestHeartbeatBodyRoundTrip(t *testing.T) {
 	}
 	if _, err := DecodeHeartbeat(buf[:4]); !errors.Is(err, ErrBodyTruncated) {
 		t.Errorf("short heartbeat decode err = %v", err)
+	}
+}
+
+func TestRebindBodyRoundTrip(t *testing.T) {
+	rb := &RebindBody{Records: []RebindRecord{
+		{Epoch: 1, Cut: 150, Spec: "nakcast(timeout=10ms)"},
+		{Epoch: 2, Cut: 311, Spec: "ricochet(c=3,r=8)"},
+	}}
+	buf, err := rb.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRebind(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != 2 || got.Records[0] != rb.Records[0] || got.Records[1] != rb.Records[1] {
+		t.Errorf("records = %+v, want %+v", got.Records, rb.Records)
+	}
+}
+
+func TestRebindBodyErrors(t *testing.T) {
+	if _, err := (&RebindBody{}).Encode(nil); !errors.Is(err, ErrBodyInvalid) {
+		t.Errorf("empty rebind encode err = %v", err)
+	}
+	long := &RebindBody{Records: []RebindRecord{{Epoch: 1, Cut: 1, Spec: strings.Repeat("x", 300)}}}
+	if _, err := long.Encode(nil); !errors.Is(err, ErrBodyInvalid) {
+		t.Errorf("oversize spec encode err = %v", err)
+	}
+	noSpec := &RebindBody{Records: []RebindRecord{{Epoch: 1, Cut: 1}}}
+	if _, err := noSpec.Encode(nil); !errors.Is(err, ErrBodyInvalid) {
+		t.Errorf("empty spec encode err = %v", err)
+	}
+	if _, err := DecodeRebind(nil); !errors.Is(err, ErrBodyTruncated) {
+		t.Errorf("nil decode err = %v", err)
+	}
+	if _, err := DecodeRebind([]byte{0}); !errors.Is(err, ErrBodyInvalid) {
+		t.Errorf("zero-count decode err = %v", err)
+	}
+	if _, err := DecodeRebind([]byte{1, 0, 1, 0, 0, 0, 0, 0, 0, 0, 5, 'a'}); !errors.Is(err, ErrBodyTruncated) {
+		t.Errorf("short spec decode err = %v", err)
 	}
 }
 
