@@ -9,10 +9,12 @@ tier1:
 	$(GO) test ./...
 
 # race runs the concurrency-sensitive packages (the parallel experiment
-# engine, the parallel ANN trainer, the simulation kernel, the transports
-# including the crucible matrix, the broker, membership, the chaos engine,
-# the adaptation loop (core + dds hot-swap path), and the integration
-# failure suite) under the race detector.
+# engine including the sharded-engine paths, the parallel ANN trainer, the
+# simulation kernel including the sharded conservative-time engine, the
+# transports including the crucible matrix and its sharded cells, the
+# broker, membership, the chaos engine, the adaptation loop (core + dds
+# hot-swap path), and the integration failure suite) under the race
+# detector.
 race:
 	$(GO) test -race ./internal/experiment ./internal/ann/... ./internal/sim/... \
 		./internal/transport/... ./internal/broker ./internal/membership \
@@ -28,6 +30,7 @@ fuzz-smoke:
 	$(GO) test -run NONE -fuzz FuzzMatch -fuzztime $(FUZZTIME) ./internal/broker
 	$(GO) test -run NONE -fuzz FuzzLoad -fuzztime $(FUZZTIME) ./internal/ann
 	$(GO) test -run NONE -fuzz FuzzSchedule -fuzztime $(FUZZTIME) ./internal/netem/chaos
+	$(GO) test -run NONE -fuzz FuzzShardedKernel -fuzztime $(FUZZTIME) ./internal/netem/chaos
 	$(GO) test -run NONE -fuzz FuzzKernelOrder -fuzztime $(FUZZTIME) ./internal/sim
 	$(GO) test -run NONE -fuzz FuzzRebind -fuzztime $(FUZZTIME) ./internal/transport/conformance
 
@@ -51,10 +54,12 @@ bench-ann:
 
 # bench-sim asserts the zero-alloc scheduler hot paths (-benchmem) and
 # regenerates BENCH_sim.json, the event-core throughput report comparing
-# the wheel+heap scheduler against the container/heap baseline.
+# the wheel+heap scheduler against the container/heap baseline, plus the
+# shard-scaling storm table (group sizes 50-1000 at 1 and 8 workers, with
+# intermediate widths for the curve).
 bench-sim:
 	$(GO) test -bench 'BenchmarkSchedule' -benchmem -run NONE ./internal/sim/
 	$(GO) test -bench . -benchmem -benchtime 2x -run NONE ./internal/sim/bench/
-	$(GO) run ./cmd/adamant-bench -sim -out BENCH_sim.json
+	$(GO) run ./cmd/adamant-bench -sim -shard-workers 1,2,4,8 -shard-groups 50,200,500,1000 -out BENCH_sim.json
 
 check: tier1 race

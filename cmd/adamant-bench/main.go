@@ -43,6 +43,8 @@ func main() {
 		outPath   = flag.String("out", "", "JSON report path (default BENCH_ann.json for -ann, BENCH_sim.json for -sim)")
 		queries   = flag.Int("queries", 100000, "timed Classify calls for the -ann harness")
 		events    = flag.Uint64("events", 2_000_000, "minimum events per measurement for the -sim harness")
+		shardW    = flag.String("shard-workers", "1,2,4,8", "worker counts for the -sim shard-scaling table (comma list)")
+		shardG    = flag.String("shard-groups", "50,200,500,1000", "group sizes for the -sim shard-scaling table (comma list)")
 		verbose   = flag.Bool("v", false, "progress logging")
 	)
 	flag.Parse()
@@ -51,7 +53,17 @@ func main() {
 		if out == "" {
 			out = "BENCH_sim.json"
 		}
-		if err := runSimBench(out, *events, *verbose); err != nil {
+		workers, err := parseIntList(*shardW)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adamant-bench: -shard-workers:", err)
+			os.Exit(1)
+		}
+		groups, err := parseIntList(*shardG)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adamant-bench: -shard-groups:", err)
+			os.Exit(1)
+		}
+		if err := runSimBench(out, *events, groups, workers, *verbose); err != nil {
 			fmt.Fprintln(os.Stderr, "adamant-bench:", err)
 			os.Exit(1)
 		}
@@ -93,6 +105,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "adamant-bench:", err)
 		os.Exit(1)
 	}
+}
+
+func parseIntList(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad entry %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func run(figFlag string, all bool, samples, runs int, seed int64, dataset string,

@@ -34,6 +34,13 @@ type simReport struct {
 	// Netem runs the real emulator data path end to end on the current
 	// kernel (no baseline pairing: the emulator only targets one kernel).
 	Netem bench.Result `json:"netem_pump"`
+
+	// ShardScaling is the multicast-storm table on the sharded engine:
+	// group sizes x worker counts. Interpret speedup_vs_1 against the cpus
+	// and gomaxprocs fields above — workers beyond the CPU count cannot
+	// buy wall-clock time, only overlap; on a 1-CPU host every row of a
+	// group is the same work and the column is honest about that.
+	ShardScaling []bench.ShardPoint `json:"shard_scaling"`
 }
 
 // simSweepDepths covers 1e2-1e6 pending events, the range between an idle
@@ -41,7 +48,7 @@ type simReport struct {
 var simSweepDepths = []int{100, 1_000, 10_000, 100_000, 1_000_000}
 
 // runSimBench measures the kernel workloads and writes the JSON report.
-func runSimBench(outPath string, events uint64, verbose bool) error {
+func runSimBench(outPath string, events uint64, shardGroups, shardWorkers []int, verbose bool) error {
 	progress := func(string, ...any) {}
 	if verbose {
 		progress = func(format string, args ...any) {
@@ -75,6 +82,16 @@ func runSimBench(outPath string, events uint64, verbose bool) error {
 		return err
 	}
 
+	progress("shard scaling, groups %v x workers %v, >=%d events per cell", shardGroups, shardWorkers, events)
+	rep.ShardScaling, err = bench.ShardScaling(shardGroups, shardWorkers, events, 256)
+	if err != nil {
+		return err
+	}
+	for _, p := range rep.ShardScaling {
+		progress("  group %5d workers %2d: %6.1f ns/ev %11.0f ev/s  %6d windows  (%.2fx vs w=%d)",
+			p.Group, p.Workers, p.NsPerEvent, p.EventsPerSec, p.Windows, p.SpeedupVs1, shardWorkers[0])
+	}
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -94,6 +111,10 @@ func runSimBench(outPath string, events uint64, verbose bool) error {
 		rep.HopMix.Baseline.NsPerEvent, rep.HopMix.Baseline.AllocsPerEvent, rep.HopMix.Speedup)
 	fmt.Printf("sim bench: netem pump       kernel %7.1f ns/ev %5.2f allocs/ev %11.0f ev/s\n",
 		rep.Netem.NsPerEvent, rep.Netem.AllocsPerEvent, rep.Netem.EventsPerSec)
+	for _, p := range rep.ShardScaling {
+		fmt.Printf("sim bench: storm g=%-5d w=%-2d %7.1f ns/ev %5.2f allocs/ev %11.0f ev/s  %7d windows  (%.2fx)\n",
+			p.Group, p.Workers, p.NsPerEvent, p.AllocsPerEvent, p.EventsPerSec, p.Windows, p.SpeedupVs1)
+	}
 	fmt.Printf("wrote %s\n", outPath)
 	return nil
 }

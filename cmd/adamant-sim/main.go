@@ -5,6 +5,8 @@
 //	adamant-sim -machine pc850 -bw 100Mb -loss 5 -receivers 3 -rate 10 \
 //	            -proto 'ricochet(r=4,c=3)' -samples 2000
 //	adamant-sim -sweep    # all six candidate protocols on one environment
+//	adamant-sim -storm -shards 8   # 1000-receiver multicast storm, sharded engine
+//	adamant-sim -receivers 500 -shards 4 -proto bemcast   # any config, sharded
 package main
 
 import (
@@ -40,8 +42,25 @@ func run() error {
 		seed      = flag.Int64("seed", 1, "simulation seed")
 		runs      = flag.Int("runs", 1, "runs (summaries averaged per run line)")
 		sweep     = flag.Bool("sweep", false, "run all six ADAMANT candidates instead of -proto")
+		shards    = flag.Int("shards", 0, "run on the sharded engine with this many workers (0 = serial kernel)")
+		storm     = flag.Bool("storm", false, "multicast-storm preset: 1000 bemcast receivers at 100Hz (override with -receivers etc.)")
 	)
 	flag.Parse()
+	if *storm {
+		preset := experiment.Storm(1000, *shards, *seed)
+		setIfDefault := func(name string, f func()) {
+			if fl := flag.Lookup(name); fl != nil && fl.Value.String() == fl.DefValue {
+				f()
+			}
+		}
+		setIfDefault("bw", func() { *bw = preset.Bandwidth.String() })
+		setIfDefault("loss", func() { *loss = preset.LossPct })
+		setIfDefault("receivers", func() { *receivers = preset.Receivers })
+		setIfDefault("rate", func() { *rate = preset.RateHz })
+		setIfDefault("samples", func() { *samples = preset.Samples })
+		setIfDefault("proto", func() { *protoStr = preset.Protocol.String() })
+		setIfDefault("shards", func() { *shards = 8 })
+	}
 
 	m, err := netem.MachineByName(*machine)
 	if err != nil {
@@ -58,6 +77,7 @@ func run() error {
 	cfg := experiment.Config{
 		Machine: m, Bandwidth: b, Impl: impl, LossPct: *loss,
 		Receivers: *receivers, RateHz: *rate, Samples: *samples, Seed: *seed,
+		Shards: *shards,
 	}
 
 	specs := []transport.Spec{}
@@ -71,8 +91,12 @@ func run() error {
 		specs = append(specs, spec)
 	}
 
-	fmt.Printf("environment: %s/%s/%s loss=%g%% receivers=%d rate=%gHz samples=%d seed=%d\n\n",
-		m.Name, b, impl, *loss, *receivers, *rate, *samples, *seed)
+	engine := "serial kernel"
+	if *shards > 0 {
+		engine = fmt.Sprintf("sharded x%d", *shards)
+	}
+	fmt.Printf("environment: %s/%s/%s loss=%g%% receivers=%d rate=%gHz samples=%d seed=%d engine=%s\n\n",
+		m.Name, b, impl, *loss, *receivers, *rate, *samples, *seed, engine)
 	for _, spec := range specs {
 		cfg.Protocol = spec
 		fmt.Printf("%s\n", spec)

@@ -42,6 +42,14 @@ type Config struct {
 	Protocol transport.Spec
 	// Seed makes the run reproducible.
 	Seed int64
+	// Shards > 0 runs the experiment on the sharded conservative-time
+	// engine with that many workers instead of the serial kernel. The
+	// sharded result is deterministic and identical at every worker
+	// count, but is a distinct trajectory from the serial kernel's (the
+	// two engines order same-instant arrivals differently), so published
+	// tables pick one engine and stay on it. Use for large groups, where
+	// the serial kernel is the bottleneck.
+	Shards int
 }
 
 func (c *Config) fillDefaults() {
@@ -82,13 +90,20 @@ func (c Config) Validate() error {
 	if c.Samples < 1 {
 		return errors.New("experiment: need at least one sample")
 	}
+	if c.Shards < 0 {
+		return errors.New("experiment: negative shard count")
+	}
 	return nil
 }
 
 // String identifies the configuration in logs and tables.
 func (c Config) String() string {
-	return fmt.Sprintf("%s/%s/%s loss=%g%% rcv=%d rate=%gHz proto=%s",
+	s := fmt.Sprintf("%s/%s/%s loss=%g%% rcv=%d rate=%gHz proto=%s",
 		c.Machine.Name, c.Bandwidth, c.Impl, c.LossPct, c.Receivers, c.RateHz, c.Protocol)
+	if c.Shards > 0 {
+		s += fmt.Sprintf(" shards=%d", c.Shards)
+	}
+	return s
 }
 
 // topicName is the single experiment data stream.
@@ -117,19 +132,46 @@ func Run(cfg Config) (metrics.Summary, error) {
 	return s, err
 }
 
+// simDriver is the engine surface RunDetailed needs: the serial Kernel and
+// the sharded conservative-time engine both satisfy it.
+type simDriver interface {
+	SetEventLimit(n uint64)
+	Run() error
+}
+
 // RunDetailed is Run plus the per-node traffic report.
 func RunDetailed(cfg Config) (metrics.Summary, NetReport, error) {
 	cfg.fillDefaults()
 	if err := cfg.Validate(); err != nil {
 		return metrics.Summary{}, NetReport{}, err
 	}
-	kernel := sim.New(cfg.Seed)
-	kernel.SetEventLimit(uint64(cfg.Samples)*uint64(cfg.Receivers)*200 + 10_000_000)
-	e := env.NewSim(kernel)
-	network, err := netem.New(e, netem.Config{Bandwidth: cfg.Bandwidth})
+	var (
+		network *netem.Network
+		drv     simDriver
+		kernel  *sim.Kernel
+		err     error
+	)
+	if cfg.Shards > 0 {
+		sh := sim.NewSharded(cfg.Seed, netem.DefaultPropDelay)
+		sh.SetWorkers(cfg.Shards)
+		network, err = netem.NewSharded(sh, netem.Config{Bandwidth: cfg.Bandwidth})
+		drv = sh
+	} else {
+		kernel = sim.New(cfg.Seed)
+		network, err = netem.New(env.NewSim(kernel), netem.Config{Bandwidth: cfg.Bandwidth})
+		drv = kernel
+	}
 	if err != nil {
 		return metrics.Summary{}, NetReport{}, err
 	}
+	// The sharded engine fires one arrival event per multicast target where
+	// the serial kernel loops all targets in one event, so give it double
+	// headroom.
+	limit := uint64(cfg.Samples)*uint64(cfg.Receivers)*200 + 10_000_000
+	if cfg.Shards > 0 {
+		limit *= 2
+	}
+	drv.SetEventLimit(limit)
 	reg := protocols.MustRegistry()
 
 	writerNode := network.AddNode(cfg.Machine)
@@ -142,9 +184,11 @@ func RunDetailed(cfg Config) (metrics.Summary, NetReport, error) {
 	}
 	receivers := transport.StaticReceivers(readerIDs...)
 
+	// Each participant lives on its node's env — the shared sim env in
+	// serial mode, the node's lane env in sharded mode.
 	mkParticipant := func(node *netem.Node) (*dds.DomainParticipant, error) {
 		return dds.NewParticipant(dds.ParticipantConfig{
-			Env:       e,
+			Env:       node.Env(),
 			Endpoint:  node,
 			Registry:  reg,
 			Transport: cfg.Protocol,
@@ -167,6 +211,14 @@ func RunDetailed(cfg Config) (metrics.Summary, NetReport, error) {
 	}
 	collectors := make([]metrics.Collector, cfg.Receivers)
 	tail := metrics.NewLatencyTail()
+	// Sharded mode runs receiver lanes concurrently, and the P2 tail
+	// estimator is both unsynchronized and order-sensitive, so listeners
+	// buffer latencies per receiver (lane-local, race-free) and the tail is
+	// fed in deterministic receiver-major order after the run.
+	var latencies [][]float64
+	if cfg.Shards > 0 {
+		latencies = make([][]float64, cfg.Receivers)
+	}
 	for i := range readerNodes {
 		i := i
 		p, err := mkParticipant(readerNodes[i])
@@ -180,16 +232,28 @@ func RunDetailed(cfg Config) (metrics.Summary, NetReport, error) {
 		if _, err := p.CreateDataReader(rt, dds.ReaderQoS{Reliability: dds.Reliable, History: dds.KeepLast, Depth: 1},
 			dds.ListenerFuncs{Data: func(s dds.Sample) {
 				collectors[i].OnDeliver(s.Info.SentAt, s.Info.ReceivedAt, s.Info.Recovered)
-				tail.Add(float64(s.Info.Latency()) / float64(time.Microsecond))
+				lat := float64(s.Info.Latency()) / float64(time.Microsecond)
+				if latencies != nil {
+					latencies[i] = append(latencies[i], lat)
+				} else {
+					tail.Add(lat)
+				}
 			}}); err != nil {
 			return metrics.Summary{}, NetReport{}, err
 		}
 	}
 
-	// Publish Samples samples at RateHz, then close the writer (EOS).
+	// Publish Samples samples at RateHz, then close the writer (EOS). The
+	// payload stream derives from (seed, name) alone, so the writer lane's
+	// kernel hands out the same bytes the serial kernel would.
 	period := time.Duration(float64(time.Second) / cfg.RateHz)
 	payload := make([]byte, cfg.PayloadBytes)
-	rng := kernel.Rand("experiment/payload")
+	payloadKernel := kernel
+	if payloadKernel == nil {
+		payloadKernel = network.Sharded().LaneKernel(writerNode.Lane())
+	}
+	rng := payloadKernel.Rand("experiment/payload")
+	writerEnv := writerNode.Env()
 	published := 0
 	var writeErr error
 	var tick func()
@@ -204,15 +268,20 @@ func RunDetailed(cfg Config) (metrics.Summary, NetReport, error) {
 			return
 		}
 		published++
-		e.Schedule(period, tick)
+		writerEnv.Schedule(period, tick)
 	}
-	e.Post(tick)
+	writerEnv.Post(tick)
 
-	if err := kernel.Run(); err != nil {
+	if err := drv.Run(); err != nil {
 		return metrics.Summary{}, NetReport{}, fmt.Errorf("experiment: %s: %w", cfg, err)
 	}
 	if writeErr != nil {
 		return metrics.Summary{}, NetReport{}, fmt.Errorf("experiment: %s: %w", cfg, writeErr)
+	}
+	for _, ls := range latencies {
+		for _, l := range ls {
+			tail.Add(l)
+		}
 	}
 
 	var merged metrics.Collector

@@ -1,0 +1,35 @@
+// The multicast-storm scenario: the large-scale regime the sharded engine
+// exists for, sized past anything in the paper's tables (the paper tops out
+// at small reader groups; cloud deployments fan out to hundreds or
+// thousands).
+package experiment
+
+import (
+	"adamant/internal/netem"
+	"adamant/internal/transport/bemcast"
+)
+
+// Storm returns the multicast-storm configuration: one publisher flooding
+// `receivers` readers at 100 Hz over a gigabit LAN with light end-host
+// loss, on the sharded engine with `shards` workers. The protocol is
+// bemcast — pure multicast fan-out with no repair traffic — so every event
+// the engine fires is storm traffic and the run measures raw fan-out
+// scale, not a repair protocol's backoff behavior.
+//
+// Storm(1000, 8, seed) is the canonical 1000-receiver cell; run it from
+// the command line with
+//
+//	adamant-sim -storm -shards 8
+func Storm(receivers, shards int, seed int64) Config {
+	return Config{
+		Machine:   netem.PC3000,
+		Bandwidth: netem.Gbps1,
+		LossPct:   1,
+		Receivers: receivers,
+		RateHz:    100,
+		Samples:   500,
+		Protocol:  bemcast.Spec(),
+		Shards:    shards,
+		Seed:      seed,
+	}
+}

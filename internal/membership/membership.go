@@ -74,6 +74,14 @@ type DetectorOptions struct {
 	// SuspectAfter is how long without a heartbeat before a peer is
 	// declared dead. Default 3.5x Interval.
 	SuspectAfter time.Duration
+	// UnicastJoinReplies answers a JOIN with a heartbeat unicast to the
+	// joiner instead of a multicast to the whole group. The multicast
+	// reply spreads liveness in one round but is quadratic in packets —
+	// at cold start, when every member joins at once, the reply storm is
+	// O(group^2) multicasts and O(group^3) deliveries. Groups of
+	// hundreds of nodes should turn this on; the regular heartbeat round
+	// repairs whatever a unicast reply does not spread.
+	UnicastJoinReplies bool
 }
 
 func (o *DetectorOptions) fillDefaults() {
@@ -197,8 +205,26 @@ func (d *Detector) onJoin(src wire.NodeID, pkt *wire.Packet) {
 		d.rebuild()
 		// Answer a JOIN with an immediate heartbeat so the joiner learns
 		// about us without waiting a full interval.
-		d.announce(wire.TypeHeartbeat)
+		if d.opts.UnicastJoinReplies {
+			d.reply(src)
+		} else {
+			d.announce(wire.TypeHeartbeat)
+		}
 	}
+}
+
+// reply unicasts a heartbeat straight to the joiner.
+func (d *Detector) reply(dst wire.NodeID) {
+	body, err := (&wire.HeartbeatBody{Incarnation: d.inc}).Encode(nil)
+	if err != nil {
+		return
+	}
+	_ = d.ep.Unicast(dst, &wire.Packet{
+		Type:    wire.TypeHeartbeat,
+		Src:     d.self,
+		SentAt:  d.env.Now(),
+		Payload: body,
+	})
 }
 
 func (d *Detector) onHeartbeat(src wire.NodeID, pkt *wire.Packet) {

@@ -285,36 +285,84 @@ func Schedule(e env.Env, n Nodes, sc Scenario, h Hooks) (time.Duration, error) {
 	return sc.Horizon(), nil
 }
 
+// ScheduleNodes arms sc with every fault effect scheduled on its target
+// node's own env (Node.Env), instead of one shared env. This is the
+// required form on a sharded network, where a node's knobs may only be
+// touched from that node's lane; on a classic network every Node.Env is
+// the same env, so the effects land at the same virtual times as Schedule.
+// The differences from Schedule are hook granularity and context: OnEvent
+// fires once per (event, resolved node) rather than once per event, and on
+// a sharded network hooks run on the target node's lane — they must only
+// touch that node's state.
+func ScheduleNodes(n Nodes, sc Scenario, h Hooks) (time.Duration, error) {
+	if n.Sender == nil {
+		return 0, errors.New("chaos: nil sender node")
+	}
+	if err := sc.Validate(); err != nil {
+		return 0, fmt.Errorf("chaos: scenario %q: %w", sc.Name, err)
+	}
+	evs := append([]Event(nil), sc.Events...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	for _, ev := range evs {
+		ev := ev
+		for _, idx := range ev.Target.resolve(len(n.Receivers)) {
+			idx := idx
+			node := n.Sender
+			if idx >= 0 {
+				node = n.Receivers[idx]
+			}
+			node.Env().Schedule(ev.At, func() {
+				applyKnob(ev, node)
+				fireHooks(ev, idx, h)
+				if h.OnEvent != nil {
+					h.OnEvent(ev)
+				}
+			})
+		}
+	}
+	return sc.Horizon(), nil
+}
+
+// applyKnob turns one event into the node knob call it stands for.
+func applyKnob(ev Event, node *netem.Node) {
+	switch ev.Kind {
+	case KindPartition, KindCrash:
+		node.SetPartitioned(true)
+	case KindHeal, KindRestart:
+		node.SetPartitioned(false)
+	case KindLoss:
+		node.SetLoss(ev.Pct)
+	case KindBurst:
+		node.SetBurstLoss(ev.PGB, ev.PBG, ev.DropBad)
+	case KindBurstOff:
+		node.SetBurstLoss(0, 0, 0)
+	case KindCPUScale:
+		node.SetProcScale(ev.Scale)
+	}
+}
+
+// fireHooks raises the crash/restart hooks for one resolved target.
+func fireHooks(ev Event, idx int, h Hooks) {
+	switch ev.Kind {
+	case KindCrash:
+		if h.OnCrash != nil {
+			h.OnCrash(idx)
+		}
+	case KindRestart:
+		if h.OnRestart != nil {
+			h.OnRestart(idx)
+		}
+	}
+}
+
 func apply(ev Event, n Nodes, h Hooks) {
 	for _, idx := range ev.Target.resolve(len(n.Receivers)) {
 		node := n.Sender
 		if idx >= 0 {
 			node = n.Receivers[idx]
 		}
-		switch ev.Kind {
-		case KindPartition:
-			node.SetPartitioned(true)
-		case KindHeal:
-			node.SetPartitioned(false)
-		case KindLoss:
-			node.SetLoss(ev.Pct)
-		case KindBurst:
-			node.SetBurstLoss(ev.PGB, ev.PBG, ev.DropBad)
-		case KindBurstOff:
-			node.SetBurstLoss(0, 0, 0)
-		case KindCrash:
-			node.SetPartitioned(true)
-			if h.OnCrash != nil {
-				h.OnCrash(idx)
-			}
-		case KindRestart:
-			node.SetPartitioned(false)
-			if h.OnRestart != nil {
-				h.OnRestart(idx)
-			}
-		case KindCPUScale:
-			node.SetProcScale(ev.Scale)
-		}
+		applyKnob(ev, node)
+		fireHooks(ev, idx, h)
 	}
 	if h.OnEvent != nil {
 		h.OnEvent(ev)

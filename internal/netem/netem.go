@@ -26,10 +26,12 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"adamant/internal/env"
 	"adamant/internal/metrics"
+	"adamant/internal/sim"
 	"adamant/internal/wire"
 )
 
@@ -134,7 +136,11 @@ func (c CostModel) recvCost(frameBytes int) time.Duration {
 type Config struct {
 	// Bandwidth is the LAN link speed. Default: Gbps1.
 	Bandwidth Bandwidth
-	// PropDelay is one-way propagation plus switch latency. Default 30us.
+	// PropDelay is one-way propagation plus switch latency. Default
+	// DefaultPropDelay. On a sharded network this is also the conservative
+	// lookahead: no packet reaches another node sooner than one propagation
+	// time, which is what makes PropDelay-wide time windows safe to run in
+	// parallel.
 	PropDelay time.Duration
 	// MaxQueueDelay bounds each node's egress queueing delay; a frame that
 	// would wait longer is dropped (drop-tail). Default 50ms.
@@ -143,12 +149,16 @@ type Config struct {
 	Cost CostModel
 }
 
+// DefaultPropDelay is the default one-way propagation plus switch latency,
+// and therefore the default conservative window width of a sharded network.
+const DefaultPropDelay = 30 * time.Microsecond
+
 func (c *Config) fillDefaults() {
 	if c.Bandwidth == 0 {
 		c.Bandwidth = Gbps1
 	}
 	if c.PropDelay == 0 {
-		c.PropDelay = 30 * time.Microsecond
+		c.PropDelay = DefaultPropDelay
 	}
 	if c.MaxQueueDelay == 0 {
 		c.MaxQueueDelay = 50 * time.Millisecond
@@ -173,8 +183,16 @@ func (c Config) Validate() error {
 }
 
 // Network is a single switched LAN of emulated nodes.
+//
+// A network runs in one of two modes. The classic mode (New) drives every
+// node from one shared env on a single kernel. The sharded mode
+// (NewSharded) gives every node its own lane of a sim.Sharded engine —
+// per-node state is then only touched by that node's lane, so lanes run in
+// parallel under the engine's conservative PropDelay-wide time windows
+// while producing the same deterministic behavior at any worker count.
 type Network struct {
-	env   env.Env
+	env   env.Env // classic mode only; nil when sharded
+	sh    *sim.Sharded
 	cfg   Config
 	nodes []*Node
 	// freeIn/freeRx recycle the per-packet dispatch records handed to
@@ -235,11 +253,17 @@ type rxDispatch struct {
 }
 
 // dispatchRx is the static ScheduleArg callback for receiver-CPU completion.
+// Sharded nodes recycle through their own lane-local pool; classic nodes
+// share the network pool as before.
 func dispatchRx(a any) {
 	d := a.(*rxDispatch)
 	nd, src, pkt := d.nd, d.src, d.pkt
 	d.nd, d.pkt = nil, nil
-	if len(nd.net.freeRx) < maxFreeDispatch {
+	if nd.lane >= 0 {
+		if len(nd.freeRx) < maxFreeDispatch {
+			nd.freeRx = append(nd.freeRx, d)
+		}
+	} else if len(nd.net.freeRx) < maxFreeDispatch {
 		nd.net.freeRx = append(nd.net.freeRx, d)
 	}
 	if nd.handler != nil {
@@ -257,6 +281,42 @@ func (n *Network) getRx() *rxDispatch {
 	return &rxDispatch{}
 }
 
+func (nd *Node) getRx() *rxDispatch {
+	if nd.lane < 0 {
+		return nd.net.getRx()
+	}
+	if ln := len(nd.freeRx); ln > 0 {
+		d := nd.freeRx[ln-1]
+		nd.freeRx[ln-1] = nil
+		nd.freeRx = nd.freeRx[:ln-1]
+		return d
+	}
+	return &rxDispatch{}
+}
+
+// xArrival carries one frame across a lane boundary: scheduled on the
+// sender's lane, delivered on the receiver's. The records go through a
+// sync.Pool because Get/Put happen on different workers; pooling order is
+// determinism-neutral since every field is rewritten before use.
+type xArrival struct {
+	nd    *Node
+	src   wire.NodeID
+	pkt   *wire.Packet
+	frame int
+}
+
+var xArrivalPool = sync.Pool{New: func() any { return new(xArrival) }}
+
+// deliverXArrival is the cross-lane counterpart of deliverInflight, running
+// on the receiving node's lane.
+func deliverXArrival(v any) {
+	a := v.(*xArrival)
+	nd, src, pkt, frame := a.nd, a.src, a.pkt, a.frame
+	a.nd, a.pkt = nil, nil
+	xArrivalPool.Put(a)
+	nd.receive(src, pkt, frame)
+}
+
 // New builds a LAN on the given environment.
 func New(e env.Env, cfg Config) (*Network, error) {
 	if e == nil {
@@ -269,14 +329,41 @@ func New(e env.Env, cfg Config) (*Network, error) {
 	return &Network{env: e, cfg: cfg}, nil
 }
 
-// Env returns the environment the network runs on.
+// NewSharded builds a LAN on a lane-sharded engine: every AddNode claims a
+// fresh lane, and packets crossing nodes go through the engine's
+// conservative window barrier. The engine's lookahead must not exceed the
+// configured propagation delay — PropDelay is the guarantee that makes the
+// windows safe.
+func NewSharded(sh *sim.Sharded, cfg Config) (*Network, error) {
+	if sh == nil {
+		return nil, errors.New("netem: nil sharded engine")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.fillDefaults()
+	if cfg.PropDelay < sh.Lookahead() {
+		return nil, fmt.Errorf("netem: propagation delay %v below engine lookahead %v",
+			cfg.PropDelay, sh.Lookahead())
+	}
+	return &Network{sh: sh, cfg: cfg}, nil
+}
+
+// Env returns the environment the network runs on in classic mode, nil in
+// sharded mode (where each node has its own lane env — see Node.Env).
 func (n *Network) Env() env.Env { return n.env }
+
+// Sharded returns the engine a sharded network runs on, nil in classic mode.
+func (n *Network) Sharded() *sim.Sharded { return n.sh }
 
 // Config returns the (default-filled) configuration.
 func (n *Network) Config() Config { return n.cfg }
 
 // AddNode attaches a node of the given machine type and returns it. Node
-// IDs are assigned densely in attachment order.
+// IDs are assigned densely in attachment order. On a sharded network the
+// node claims its own engine lane; its loss rng derives from the same
+// (seed, name) pair as in classic mode, so a node's drop decisions are the
+// same function of its delivery stream in both modes.
 func (n *Network) AddNode(m Machine) *Node {
 	node := &Node{
 		net:       n,
@@ -284,8 +371,15 @@ func (n *Network) AddNode(m Machine) *Node {
 		machine:   m,
 		procScale: 1.0,
 		lossTypes: defaultLossMask,
-		rng:       n.env.Rand(fmt.Sprintf("netem/node/%d", len(n.nodes))),
+		lane:      -1,
 	}
+	if n.sh != nil {
+		node.lane = n.sh.AddLane()
+		node.env = env.NewLane(n.sh, node.lane)
+	} else {
+		node.env = n.env
+	}
+	node.rng = node.env.Rand(fmt.Sprintf("netem/node/%d", node.id))
 	n.nodes = append(n.nodes, node)
 	return node
 }
@@ -328,11 +422,18 @@ type Stats struct {
 // A node is not safe for concurrent use; all interaction must happen from
 // env callbacks, which the env serializes.
 type Node struct {
-	net       *Network
+	net *Network
+	// env is the node's execution environment: the shared network env in
+	// classic mode, the node's own lane env in sharded mode.
+	env       env.Env
+	lane      int // engine lane, -1 in classic mode
 	id        wire.NodeID
 	machine   Machine
 	procScale float64
 	handler   func(src wire.NodeID, pkt *wire.Packet)
+	// freeRx is the lane-local dispatch pool used instead of the shared
+	// network pool when the node runs sharded.
+	freeRx []*rxDispatch
 
 	lossPct   float64
 	lossTypes lossMask
@@ -350,6 +451,27 @@ type Node struct {
 
 // Local returns the node's ID.
 func (nd *Node) Local() wire.NodeID { return nd.id }
+
+// Env returns the environment the node's callbacks run on: the shared
+// network env in classic mode, the node's own lane env in sharded mode.
+// Components attached to this node (protocol stacks, detectors, chaos
+// effects) must schedule through it.
+func (nd *Node) Env() env.Env { return nd.env }
+
+// Lane returns the node's engine lane, or -1 in classic mode.
+func (nd *Node) Lane() int { return nd.lane }
+
+// Partitioned reports whether the node is currently isolated.
+func (nd *Node) Partitioned() bool { return nd.partition }
+
+// LossPct returns the node's configured end-host loss percentage.
+func (nd *Node) LossPct() float64 { return nd.lossPct }
+
+// ProcScale returns the node's CPU cost multiplier.
+func (nd *Node) ProcScale() float64 { return nd.procScale }
+
+// BurstLossActive reports whether the Gilbert-Elliott model is enabled.
+func (nd *Node) BurstLossActive() bool { return nd.ge != nil }
 
 // Machine returns the node's machine profile.
 func (nd *Node) Machine() Machine { return nd.machine }
@@ -426,7 +548,7 @@ func (nd *Node) Work(cost time.Duration) time.Duration {
 	if cost <= 0 {
 		return 0
 	}
-	now := nd.net.env.Now()
+	now := nd.env.Now()
 	start := nd.cpuBusyUntil
 	if start.Before(now) {
 		start = now
@@ -454,6 +576,9 @@ func (nd *Node) Unicast(dst wire.NodeID, pkt *wire.Packet) error {
 	if dst == nd.id {
 		return errors.New("netem: unicast to self")
 	}
+	if nd.net.sh != nil {
+		return nd.transmitSharded(pkt, target)
+	}
 	f := nd.net.getInflight()
 	f.targets = append(f.targets, target)
 	return nd.transmit(f, pkt)
@@ -462,6 +587,9 @@ func (nd *Node) Unicast(dst wire.NodeID, pkt *wire.Packet) error {
 // Multicast sends pkt to every other node on the LAN with one egress
 // serialization (switched-Ethernet multicast semantics).
 func (nd *Node) Multicast(pkt *wire.Packet) error {
+	if nd.net.sh != nil {
+		return nd.transmitSharded(pkt, nil)
+	}
 	f := nd.net.getInflight()
 	for _, t := range nd.net.nodes {
 		if t.id != nd.id {
@@ -471,19 +599,22 @@ func (nd *Node) Multicast(pkt *wire.Packet) error {
 	return nd.transmit(f, pkt)
 }
 
-func (nd *Node) transmit(f *inflight, pkt *wire.Packet) error {
+// admit runs the sender-side pipeline shared by both modes: MTU check,
+// partition drop, sender CPU, drop-tail egress queue, tx accounting. It
+// returns the switch arrival time (store-and-forward: a second
+// serialization after linkDone, then propagation) and whether the frame
+// made it onto the wire. The operation order is part of the determinism
+// contract — the classic golden hashes pin it.
+func (nd *Node) admit(pkt *wire.Packet) (arrival time.Time, frame int, ok bool, err error) {
 	if len(pkt.Payload) > nd.MTU() {
-		nd.net.putInflight(f)
-		return fmt.Errorf("netem: payload %d exceeds MTU %d", len(pkt.Payload), nd.MTU())
+		return time.Time{}, 0, false, fmt.Errorf("netem: payload %d exceeds MTU %d", len(pkt.Payload), nd.MTU())
 	}
-	e := nd.net.env
-	now := e.Now()
-	frame := pkt.EncodedSize() + FrameOverhead
+	now := nd.env.Now()
+	frame = pkt.EncodedSize() + FrameOverhead
 
 	if nd.partition {
 		nd.stats.DroppedLoss++
-		nd.net.putInflight(f)
-		return nil
+		return time.Time{}, frame, false, nil
 	}
 
 	// Sender CPU: marshal + send path, serialized on this node's CPU.
@@ -497,8 +628,7 @@ func (nd *Node) transmit(f *inflight, pkt *wire.Packet) error {
 	linkStart := maxTime(cpuDone, nd.linkBusyUntil)
 	if linkStart.Sub(cpuDone) > nd.net.cfg.MaxQueueDelay {
 		nd.stats.DroppedQueue++
-		nd.net.putInflight(f)
-		return nil
+		return time.Time{}, frame, false, nil
 	}
 	linkDone := linkStart.Add(txTime)
 	nd.linkBusyUntil = linkDone
@@ -507,20 +637,56 @@ func (nd *Node) transmit(f *inflight, pkt *wire.Packet) error {
 	nd.stats.TxBytes += uint64(frame)
 	nd.txBW.Add(now, frame)
 
-	// Switch store-and-forward: the frame is fully received by the switch
-	// at linkDone, retransmitted on each destination port (second
-	// serialization), then propagates. Every target receives the same clone
-	// pointer, matching the previous closure-based dispatch.
-	arrival := linkDone.Add(txTime).Add(nd.net.cfg.PropDelay)
+	return linkDone.Add(txTime).Add(nd.net.cfg.PropDelay), frame, true, nil
+}
+
+func (nd *Node) transmit(f *inflight, pkt *wire.Packet) error {
+	arrival, frame, ok, err := nd.admit(pkt)
+	if err != nil || !ok {
+		nd.net.putInflight(f)
+		return err
+	}
+	// Every target receives the same clone pointer, matching the previous
+	// closure-based dispatch.
 	f.src = nd.id
 	f.pkt = pkt.Clone()
 	f.frame = frame
-	e.ScheduleArg(arrival.Sub(now), deliverInflight, f)
+	nd.env.ScheduleArg(arrival.Sub(nd.env.Now()), deliverInflight, f)
 	return nil
 }
 
+// transmitSharded is the lane-crossing delivery path: one admit on the
+// sending lane, then one cross-lane message per target (every target is on
+// its own lane). All targets share one read-only clone, the same sharing
+// contract the classic multicast path has always imposed. Arrival is at
+// least PropDelay >= lookahead in the future, satisfying the engine's
+// conservative send bound. target == nil means multicast to all others.
+func (nd *Node) transmitSharded(pkt *wire.Packet, target *Node) error {
+	arrival, frame, ok, err := nd.admit(pkt)
+	if err != nil || !ok {
+		return err
+	}
+	clone := pkt.Clone()
+	if target != nil {
+		nd.sendLane(target, clone, frame, arrival)
+		return nil
+	}
+	for _, t := range nd.net.nodes {
+		if t.id != nd.id {
+			nd.sendLane(t, clone, frame, arrival)
+		}
+	}
+	return nil
+}
+
+func (nd *Node) sendLane(t *Node, pkt *wire.Packet, frame int, arrival time.Time) {
+	a := xArrivalPool.Get().(*xArrival)
+	a.nd, a.src, a.pkt, a.frame = t, nd.id, pkt, frame
+	nd.net.sh.Send(nd.lane, t.lane, arrival, deliverXArrival, a, nil)
+}
+
 func (nd *Node) receive(src wire.NodeID, pkt *wire.Packet, frame int) {
-	e := nd.net.env
+	e := nd.env
 	now := e.Now()
 	if nd.partition {
 		nd.stats.DroppedLoss++
@@ -546,7 +712,7 @@ func (nd *Node) receive(src wire.NodeID, pkt *wire.Packet, frame int) {
 	cpuStart := maxTime(now, nd.cpuBusyUntil)
 	cpuDone := cpuStart.Add(nd.scaled(nd.net.cfg.Cost.recvCost(frame)))
 	nd.cpuBusyUntil = cpuDone
-	d := nd.net.getRx()
+	d := nd.getRx()
 	d.nd, d.src, d.pkt = nd, src, pkt
 	e.ScheduleArg(cpuDone.Sub(now), dispatchRx, d)
 }

@@ -93,3 +93,42 @@ func BenchmarkNetemPump(b *testing.B) {
 		}
 	}
 }
+
+// TestShardScaling checks the scaling table is well-formed and that the
+// storm workload fires an identical event stream at every worker count
+// (the width-invariance contract, visible here as equal event counts).
+func TestShardScaling(t *testing.T) {
+	points, err := ShardScaling([]int{8, 32}, []int{1, 2}, 10_000, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("got %d points, want 4", len(points))
+	}
+	byGroup := map[int][]ShardPoint{}
+	for _, p := range points {
+		if p.Events < 10_000 {
+			t.Errorf("group %d workers %d: fired %d events, want >= 10000", p.Group, p.Workers, p.Events)
+		}
+		if p.Windows == 0 || p.NsPerEvent <= 0 || p.SpeedupVs1 <= 0 {
+			t.Errorf("group %d workers %d: implausible measurement %+v", p.Group, p.Workers, p)
+		}
+		byGroup[p.Group] = append(byGroup[p.Group], p)
+	}
+	for g, ps := range byGroup {
+		for _, p := range ps[1:] {
+			if p.Events != ps[0].Events || p.Windows != ps[0].Windows {
+				t.Errorf("group %d: events/windows vary with worker count: %+v vs %+v", g, ps[0], p)
+			}
+		}
+	}
+}
+
+func BenchmarkShardStorm500(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := shardStorm(500, 8, 500_000, 256); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -79,6 +79,17 @@ type CrucibleScenario struct {
 	// the whole protocol chain: ordering and completeness are only global
 	// obligations when every generation advertises them.
 	Switches []TransportSwitch
+	// Shards > 0 runs the cell on the lane-sharded engine (one lane per
+	// node) with that many workers; 0 keeps the classic single-kernel
+	// execution. The engine's determinism contract makes the outcome hash
+	// independent of the value — sharding buys wall-clock time at large
+	// group sizes, nothing else.
+	Shards int
+	// Heartbeat overrides the membership detector interval (default 50ms;
+	// SuspectAfter stays at 3.5 intervals). Large-group cells slow the
+	// heartbeat down so membership traffic scales with the group instead
+	// of quadratically swamping it.
+	Heartbeat time.Duration
 }
 
 // epochSpecs returns the effective protocol chain: the initial spec plus
@@ -112,16 +123,27 @@ func (cs *CrucibleScenario) fillDefaults() {
 	if cs.Settle == 0 {
 		cs.Settle = 3 * time.Second
 	}
+	if cs.Heartbeat == 0 {
+		cs.Heartbeat = 50 * time.Millisecond
+	}
 }
 
-// Name identifies the cell in reports: spec[->spec@t...]/scenario/seed.
+// Name identifies the cell in reports: spec[->spec@t...]/scenario/seed,
+// with group-size and shard suffixes when they deviate from the defaults.
 func (cs CrucibleScenario) Name() string {
 	var b strings.Builder
 	b.WriteString(cs.Spec.String())
 	for _, sw := range cs.Switches {
 		fmt.Fprintf(&b, "->%s@%s", sw.Spec, sw.At)
 	}
-	return fmt.Sprintf("%s/%s/seed=%d", b.String(), cs.Chaos.Name, cs.Seed)
+	fmt.Fprintf(&b, "/%s/seed=%d", cs.Chaos.Name, cs.Seed)
+	if cs.Receivers != 0 {
+		fmt.Fprintf(&b, "/g=%d", cs.Receivers)
+	}
+	if cs.Shards != 0 {
+		fmt.Fprintf(&b, "/shards=%d", cs.Shards)
+	}
+	return b.String()
 }
 
 // CrucibleOutcome is everything the invariant checkers assert on.
@@ -151,18 +173,62 @@ type CrucibleOutcome struct {
 	Hash string
 }
 
+// crucibleDriver is the engine surface the crucible needs: the classic
+// single kernel and the lane-sharded engine both satisfy it, and because
+// the sharded engine's output is byte-identical to the serial kernel's,
+// the cell outcome is independent of which one runs underneath.
+type crucibleDriver interface {
+	SetEventLimit(uint64)
+	RunFor(time.Duration) error
+	Run() error
+	Pending() int
+}
+
+// onDriver is a test hook observing the engine a cell runs on.
+var onDriver func(crucibleDriver)
+
+// crucibleEventLimit sizes the quiescence backstop for a cell: the sample
+// term bounds protocol traffic, the quadratic term bounds membership
+// gossip (every detector multicasts to the whole group each interval), and
+// the constant keeps tiny cells from tripping on setup traffic. Large
+// groups are dominated by the quadratic term — at 500 receivers a single
+// heartbeat interval is 250k packet events.
+func crucibleEventLimit(cs CrucibleScenario) uint64 {
+	limit := uint64(cs.Samples)*uint64(cs.Receivers)*1000 + 2_000_000
+	wall := time.Duration(float64(cs.Samples)/cs.RateHz*float64(time.Second)) +
+		cs.Chaos.Horizon() + cs.Settle + 2*time.Second
+	intervals := uint64(wall/cs.Heartbeat) + 1
+	limit += intervals * uint64(cs.Receivers) * uint64(cs.Receivers) * 8
+	return limit
+}
+
 // ExecuteCrucible runs one cell to full quiescence and returns the outcome.
 func ExecuteCrucible(cs CrucibleScenario) (CrucibleOutcome, error) {
 	cs.fillDefaults()
 	if err := cs.Chaos.Validate(); err != nil {
 		return CrucibleOutcome{}, err
 	}
-	kernel := sim.New(cs.Seed)
-	kernel.SetEventLimit(uint64(cs.Samples)*uint64(cs.Receivers)*1000 + 2_000_000)
-	e := env.NewSim(kernel)
-	network, err := netem.New(e, netem.Config{})
+	var (
+		drv     crucibleDriver
+		network *netem.Network
+		err     error
+	)
+	if cs.Shards > 0 {
+		sh := sim.NewSharded(cs.Seed, netem.DefaultPropDelay)
+		sh.SetWorkers(cs.Shards)
+		network, err = netem.NewSharded(sh, netem.Config{})
+		drv = sh
+	} else {
+		kernel := sim.New(cs.Seed)
+		network, err = netem.New(env.NewSim(kernel), netem.Config{})
+		drv = kernel
+	}
 	if err != nil {
 		return CrucibleOutcome{}, err
+	}
+	drv.SetEventLimit(crucibleEventLimit(cs))
+	if onDriver != nil {
+		onDriver(drv)
 	}
 	reg := protocols.MustRegistry()
 
@@ -186,16 +252,24 @@ func ExecuteCrucible(cs CrucibleScenario) (CrucibleOutcome, error) {
 	// Per-receiver stack: splitter so membership (control stream) and the
 	// protocol (stream 1) share the node, heartbeat detector, protocol
 	// receiver — wrapped in a hot-swap binding — fed by the detector's live
-	// view.
+	// view. Every component schedules on its own node's env: under the
+	// classic engine that is the one shared kernel env, under the sharded
+	// engine it is the node's lane, which keeps each receiver's stack on the
+	// lane that owns its netem node.
 	detectors := make([]*membership.Detector, cs.Receivers)
 	instances := make([]*transport.ReceiverBinding, cs.Receivers)
 	for i := range readerNodes {
 		i := i
 		split := transport.NewSplitter(readerNodes[i])
 		ctlMux := transport.NewMux(split.Route(wire.ControlStream))
-		det, err := membership.NewDetector(e, ctlMux, membership.DetectorOptions{
-			Interval:     50 * time.Millisecond,
-			SuspectAfter: 175 * time.Millisecond,
+		det, err := membership.NewDetector(readerNodes[i].Env(), ctlMux, membership.DetectorOptions{
+			Interval:     cs.Heartbeat,
+			SuspectAfter: cs.Heartbeat * 7 / 2,
+			// Large groups answer JOINs with unicasts: the multicast
+			// reply storm at cold start is O(group^3) deliveries, which
+			// at 500 receivers is more packets than the entire rest of
+			// the cell.
+			UnicastJoinReplies: cs.Receivers > 64,
 		}, nil)
 		if err != nil {
 			return CrucibleOutcome{}, fmt.Errorf("detector %d: %w", i, err)
@@ -203,7 +277,7 @@ func ExecuteCrucible(cs CrucibleScenario) (CrucibleOutcome, error) {
 		detectors[i] = det
 		r, err := transport.NewReceiverBinding(transport.BindingConfig{
 			Config: transport.Config{
-				Env:       e,
+				Env:       readerNodes[i].Env(),
 				Endpoint:  split.Route(1),
 				Stream:    1,
 				SenderID:  senderNode.Local(),
@@ -221,9 +295,10 @@ func ExecuteCrucible(cs CrucibleScenario) (CrucibleOutcome, error) {
 		}
 		instances[i] = r
 	}
+	senderEnv := senderNode.Env()
 	sender, err := transport.NewSenderBinding(transport.BindingConfig{
 		Config: transport.Config{
-			Env: e, Endpoint: senderNode, Stream: 1,
+			Env: senderEnv, Endpoint: senderNode, Stream: 1,
 			Receivers: transport.StaticReceivers(ids...),
 		},
 		Registry: reg,
@@ -233,7 +308,16 @@ func ExecuteCrucible(cs CrucibleScenario) (CrucibleOutcome, error) {
 		return CrucibleOutcome{}, fmt.Errorf("sender: %w", err)
 	}
 
-	horizon, err := chaos.Schedule(e, chaos.Nodes{Sender: senderNode, Receivers: readerNodes}, cs.Chaos, chaos.Hooks{})
+	// Chaos fan-out: the classic engine arms the script on the shared env;
+	// the sharded engine arms each event on its target node's lane, which is
+	// what keeps knob flips inside the lane that owns the node's state.
+	crucibleNodes := chaos.Nodes{Sender: senderNode, Receivers: readerNodes}
+	var horizon time.Duration
+	if cs.Shards > 0 {
+		horizon, err = chaos.ScheduleNodes(crucibleNodes, cs.Chaos, chaos.Hooks{})
+	} else {
+		horizon, err = chaos.Schedule(network.Env(), crucibleNodes, cs.Chaos, chaos.Hooks{})
+	}
 	if err != nil {
 		return CrucibleOutcome{}, err
 	}
@@ -248,7 +332,7 @@ func ExecuteCrucible(cs CrucibleScenario) (CrucibleOutcome, error) {
 		if sw.At <= 0 {
 			return CrucibleOutcome{}, fmt.Errorf("switch to %s at non-positive time %v", sw.Spec, sw.At)
 		}
-		e.After(sw.At, func() {
+		senderEnv.After(sw.At, func() {
 			if err := sender.Swap(sw.Spec); err != nil && !errors.Is(err, transport.ErrClosed) && swapErr == nil {
 				swapErr = fmt.Errorf("swap to %s at %v: %w", sw.Spec, sw.At, err)
 			}
@@ -272,16 +356,16 @@ func ExecuteCrucible(cs CrucibleScenario) (CrucibleOutcome, error) {
 			pubErr = err
 			return
 		}
-		e.After(period, tick)
+		senderEnv.After(period, tick)
 	}
-	e.Post(tick)
+	senderEnv.Post(tick)
 
 	total := time.Duration(cs.Samples) * period
 	if horizon > total {
 		total = horizon
 	}
 	total += cs.Settle
-	if err := kernel.RunFor(total); err != nil {
+	if err := drv.RunFor(total); err != nil {
 		return CrucibleOutcome{}, err
 	}
 	if pubErr != nil {
@@ -303,10 +387,10 @@ func ExecuteCrucible(cs CrucibleScenario) (CrucibleOutcome, error) {
 			return CrucibleOutcome{}, fmt.Errorf("detector %d close: %w", i, err)
 		}
 	}
-	if err := kernel.Run(); err != nil {
+	if err := drv.Run(); err != nil {
 		return CrucibleOutcome{}, fmt.Errorf("drain after close: %w (protocol leaked timers or retransmits forever)", err)
 	}
-	if pending := kernel.Pending(); pending != 0 {
+	if pending := drv.Pending(); pending != 0 {
 		return CrucibleOutcome{}, fmt.Errorf("%d events still pending after drain", pending)
 	}
 	for i, r := range instances {
@@ -652,6 +736,38 @@ func CrucibleCells(specs []transport.Spec, scenarios []chaos.Scenario, seeds []i
 		for _, sc := range scenarios {
 			for _, seed := range seeds {
 				cells = append(cells, CrucibleScenario{Spec: spec, Chaos: sc, Seed: seed})
+			}
+		}
+	}
+	return cells
+}
+
+// LargeGroupCells builds the 500-receiver crucible matrix for the sharded
+// engine: every spec x scenario x seed cell at group size 500 with a slow
+// 250ms heartbeat (membership traffic is O(group^2) per interval; the calm
+// 50ms default would drown the data stream at this scale) and a trimmed
+// sample count so the whole matrix finishes in CI minutes. shards picks the
+// worker width; by the engine's determinism contract it changes wall-clock
+// time only, never the outcome hash.
+func LargeGroupCells(specs []transport.Spec, scenarios []chaos.Scenario, seeds []int64, shards int) []CrucibleScenario {
+	cells := make([]CrucibleScenario, 0, len(specs)*len(scenarios)*len(seeds))
+	for _, spec := range specs {
+		for _, sc := range scenarios {
+			for _, seed := range seeds {
+				cells = append(cells, CrucibleScenario{
+					Spec:      spec,
+					Chaos:     sc,
+					Seed:      seed,
+					Receivers: 500,
+					// 200 samples at the default 100 Hz is a 2 s publish
+					// window — past the last library-scenario fault (the
+					// cascade's 1.6 s crash), so crash/heal invariants
+					// stay meaningful, while keeping a cell's event count
+					// in CI budget.
+					Samples:   200,
+					Heartbeat: 250 * time.Millisecond,
+					Shards:    shards,
+				})
 			}
 		}
 	}

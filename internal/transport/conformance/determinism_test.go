@@ -25,7 +25,20 @@ func goldenCells() []CrucibleScenario {
 		[]chaos.Scenario{chaos.CalmControl(), chaos.SplitBrain(), chaos.Cascade()},
 		[]int64{1},
 	)
-	return append(cells, SwitchCells(DefaultCrucibleSpecs(), []int64{1})...)
+	cells = append(cells, SwitchCells(DefaultCrucibleSpecs(), []int64{1})...)
+	// Sharded-engine cells carry /shards=N in their Name and so get their
+	// own golden lines; the classic corpus above is untouched. Width
+	// invariance (TestCrucibleShardWidthInvariance) makes the worker count
+	// recorded here arbitrary.
+	sharded := CrucibleCells(
+		DefaultCrucibleSpecs(),
+		[]chaos.Scenario{chaos.CalmControl(), chaos.Cascade()},
+		[]int64{1},
+	)
+	for i := range sharded {
+		sharded[i].Shards = 4
+	}
+	return append(cells, sharded...)
 }
 
 // TestCrucibleJobsDeterminism pins that the worker-pool width changes
