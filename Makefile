@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 race bench bench-ann bench-sim check fuzz-smoke chaos
+.PHONY: tier1 race bench bench-ann bench-sim bench-broker check fuzz-smoke chaos
 
 # tier1 is the gating check: vet, build, and the full test suite.
 tier1:
@@ -17,7 +17,7 @@ tier1:
 # detector.
 race:
 	$(GO) test -race ./internal/experiment ./internal/ann/... ./internal/sim/... \
-		./internal/transport/... ./internal/broker ./internal/membership \
+		./internal/transport/... ./internal/broker/... ./internal/membership \
 		./internal/netem/... ./internal/core/... ./internal/dds/... \
 		./internal/integration
 
@@ -28,6 +28,7 @@ fuzz-smoke:
 	$(GO) test -run NONE -fuzz FuzzDecode$$ -fuzztime $(FUZZTIME) ./internal/wire
 	$(GO) test -run NONE -fuzz FuzzParseSpec -fuzztime $(FUZZTIME) ./internal/transport
 	$(GO) test -run NONE -fuzz FuzzMatch -fuzztime $(FUZZTIME) ./internal/broker
+	$(GO) test -run NONE -fuzz FuzzServerCommand -fuzztime $(FUZZTIME) ./internal/broker
 	$(GO) test -run NONE -fuzz FuzzLoad -fuzztime $(FUZZTIME) ./internal/ann
 	$(GO) test -run NONE -fuzz FuzzSchedule -fuzztime $(FUZZTIME) ./internal/netem/chaos
 	$(GO) test -run NONE -fuzz FuzzShardedKernel -fuzztime $(FUZZTIME) ./internal/netem/chaos
@@ -61,5 +62,15 @@ bench-sim:
 	$(GO) test -bench 'BenchmarkSchedule' -benchmem -run NONE ./internal/sim/
 	$(GO) test -bench . -benchmem -benchtime 2x -run NONE ./internal/sim/bench/
 	$(GO) run ./cmd/adamant-bench -sim -shard-workers 1,2,4,8 -shard-groups 50,200,500,1000 -out BENCH_sim.json
+
+# bench-broker asserts the zero-alloc publish path and the >=2x
+# routing+delivery speedup over the seed broker at 10k subscriptions,
+# then regenerates BENCH_broker.json: the fan-out sweep (group size x
+# payload size) with p50/p99/p99.9 delivery latency plus the seed
+# comparison.
+bench-broker:
+	$(GO) test -run 'TestPublishZeroAlloc|TestFanoutSpeedup' -v ./internal/broker/...
+	$(GO) test -bench 'BenchmarkFanout' -benchtime 200x -run NONE ./internal/broker/bench/
+	$(GO) run ./cmd/adamant-fleet -compare -out BENCH_broker.json -v
 
 check: tier1 race

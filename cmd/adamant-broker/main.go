@@ -3,6 +3,7 @@
 // QoS-enabled DDS/ANT stack).
 //
 //	adamant-broker -addr :4222
+//	adamant-broker -shards 16 -queue-frames 32768 -slow-policy drop
 package main
 
 import (
@@ -17,8 +18,34 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":4222", "listen address")
+	shards := flag.Int("shards", 0, "routing-table shards (0 = default)")
+	seed := flag.Int64("seed", 0, "queue-group rng seed (0 = ADAMANT_BROKER_SEED env or time-based)")
+	queueFrames := flag.Int("queue-frames", 0, "per-client outbound queue bound in frames (0 = default)")
+	queueBytes := flag.Int64("queue-bytes", 0, "per-client outbound queue bound in bytes (0 = default)")
+	slowPolicy := flag.String("slow-policy", "disconnect", "slow-consumer policy: disconnect or drop")
 	flag.Parse()
-	srv := broker.NewServer()
+
+	var opts []broker.Option
+	if *shards > 0 {
+		opts = append(opts, broker.WithShards(*shards))
+	}
+	if *seed != 0 {
+		opts = append(opts, broker.WithSeed(*seed))
+	}
+	if *queueFrames > 0 || *queueBytes > 0 {
+		opts = append(opts, broker.WithWriteQueue(*queueFrames, *queueBytes))
+	}
+	switch *slowPolicy {
+	case "disconnect":
+		opts = append(opts, broker.WithSlowConsumerPolicy(broker.SlowConsumerDisconnect))
+	case "drop":
+		opts = append(opts, broker.WithSlowConsumerPolicy(broker.SlowConsumerDrop))
+	default:
+		fmt.Fprintf(os.Stderr, "adamant-broker: -slow-policy must be disconnect or drop, got %q\n", *slowPolicy)
+		os.Exit(1)
+	}
+
+	srv := broker.NewServer(opts...)
 	if err := srv.ListenAndServe(*addr); err != nil {
 		fmt.Fprintln(os.Stderr, "adamant-broker:", err)
 		os.Exit(1)
@@ -29,6 +56,6 @@ func main() {
 	<-sig
 	srv.Shutdown()
 	st := srv.Stats()
-	fmt.Printf("shut down: %d connections, %d msgs in, %d msgs out\n",
-		st.Connections, st.MsgsIn, st.MsgsOut)
+	fmt.Printf("shut down: %d connections, %d msgs in, %d msgs out, %d slow-consumer drops, %d evictions\n",
+		st.Connections, st.MsgsIn, st.MsgsOut, st.SlowConsumerDrops, st.SlowConsumerDisconnects)
 }

@@ -1,0 +1,173 @@
+// Command adamant-fleet is the broker scale harness: it multiplexes
+// 100k+ mock subscribers over a handful of real TCP connections against
+// an in-process broker, sweeps fan-out group size x publish rate x
+// payload size, and writes fan-out throughput plus p50/p99/p99.9
+// delivery latency into BENCH_broker.json. With -compare it also runs
+// the like-for-like seed-broker comparison (current trie+coalescing
+// core vs the pre-overhaul global-mutex broker on the same driver).
+//
+// Examples:
+//
+//	adamant-fleet                              # default sweep -> BENCH_broker.json
+//	adamant-fleet -groups 1000,10000,100000 -payloads 16,128,1024
+//	adamant-fleet -compare -v                  # include the seed speedup section
+//	adamant-fleet -groups 200 -budget 100000   # quick smoke cell
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"adamant/internal/broker/bench"
+	"adamant/internal/broker/fleet"
+)
+
+// fleetReport is the schema of BENCH_broker.json.
+type fleetReport struct {
+	GeneratedBy string `json:"generated_by"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	CPUs        int    `json:"cpus"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+
+	// Notes spells out how to read the numbers: subscribers are mock
+	// sids multiplexed over real conns on one box, the publisher, the
+	// fleet, and the broker share the CPUs above, and a rate of 0 means
+	// the publisher runs unpaced.
+	Notes string `json:"notes"`
+
+	// SeedComparison pairs the current broker against the pre-overhaul
+	// seed broker on an identical 10k-subscription workload (present
+	// only with -compare).
+	SeedComparison *bench.Comparison `json:"seed_comparison,omitempty"`
+
+	// Sweep is the fan-out grid: one cell per group size x payload size
+	// x publish rate.
+	Sweep []fleet.Result `json:"sweep"`
+}
+
+func main() {
+	var (
+		groups   = flag.String("groups", "1000,10000,100000", "fan-out group sizes (comma list)")
+		payloads = flag.String("payloads", "16,128,1024", "payload sizes in bytes (comma list)")
+		rates    = flag.String("rates", "0", "publish rates in Hz, 0 = unpaced (comma list)")
+		conns    = flag.Int("conns", 16, "real TCP connections the fleet multiplexes over")
+		budget   = flag.Int("budget", 2_000_000, "target deliveries per sweep cell (messages = budget/group)")
+		minMsgs  = flag.Int("min-msgs", 20, "floor on publishes per cell")
+		seed     = flag.Int64("seed", 1, "broker rng seed")
+		shards   = flag.Int("shards", 0, "routing shards (0 = broker default)")
+		compare  = flag.Bool("compare", false, "also run the seed-broker comparison at 10k subscriptions")
+		outPath  = flag.String("out", "BENCH_broker.json", "JSON report path")
+		verbose  = flag.Bool("v", false, "progress logging")
+	)
+	flag.Parse()
+
+	progress := func(string, ...any) {}
+	if *verbose {
+		progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	groupList, err := parseIntList(*groups)
+	if err != nil {
+		fatal("-groups: %v", err)
+	}
+	payloadList, err := parseIntList(*payloads)
+	if err != nil {
+		fatal("-payloads: %v", err)
+	}
+	rateList, err := parseIntList(*rates)
+	if err != nil {
+		fatal("-rates: %v", err)
+	}
+
+	rep := fleetReport{
+		GeneratedBy: "adamant-fleet",
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CPUs:        runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Notes: "subscribers are mock sids multiplexed over `conns` real TCP connections; " +
+			"publisher, fleet, and broker share the CPUs above, so deliveries/s is a " +
+			"single-box number, not a cluster claim; rate_hz 0 = unpaced publisher; " +
+			"latency is publish-stamp to subscriber-read over loopback.",
+	}
+
+	if *compare {
+		progress("seed comparison: 10000 subs, 100 subjects, 20 conns")
+		cmp, err := bench.CompareFanout(10_000, 100, 20, 200, 128)
+		if err != nil {
+			fatal("seed comparison: %v", err)
+		}
+		progress("  current %.0f del/s, seed %.0f del/s, speedup %.2fx",
+			cmp.Current.DeliveriesPerSec, cmp.Seed.DeliveriesPerSec, cmp.Speedup)
+		rep.SeedComparison = &cmp
+	}
+
+	for _, g := range groupList {
+		for _, p := range payloadList {
+			for _, r := range rateList {
+				msgs := max(*budget/g, *minMsgs)
+				progress("cell: group=%d payload=%dB rate=%dHz msgs=%d", g, p, r, msgs)
+				res, err := fleet.Run(fleet.Config{
+					Subscribers:  g,
+					Conns:        *conns,
+					PayloadBytes: p,
+					Messages:     msgs,
+					RateHz:       r,
+					Seed:         *seed,
+					Shards:       *shards,
+				})
+				if err != nil {
+					fatal("cell group=%d payload=%d rate=%d: %v", g, p, r, err)
+				}
+				progress("  %.0f deliveries/s, p50 %.3fms p99 %.3fms p99.9 %.3fms (%d dropped)",
+					res.DeliveriesPerSec, res.LatencyP50Ms, res.LatencyP99Ms, res.LatencyP999Ms, res.Dropped)
+				rep.Sweep = append(rep.Sweep, res)
+			}
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal("%v", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("wrote %s (%d sweep cells)\n", *outPath, len(rep.Sweep))
+}
+
+func parseIntList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad entry %q", part)
+		}
+		if n < 0 {
+			return nil, fmt.Errorf("negative entry %d", n)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "adamant-fleet: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,212 @@
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"adamant/internal/broker"
+)
+
+// Result is one measured fan-out run against a broker.
+type Result struct {
+	Msgs             int     `json:"msgs"`
+	Deliveries       uint64  `json:"deliveries"`
+	Seconds          float64 `json:"seconds"`
+	MsgsPerSec       float64 `json:"msgs_per_sec"`
+	DeliveriesPerSec float64 `json:"deliveries_per_sec"`
+	NsPerDelivery    float64 `json:"ns_per_delivery"`
+}
+
+// Comparison pairs the current broker against the seed broker on an
+// identical workload: Subs subscriptions spread over Subjects subjects
+// and Conns TCP connections, Msgs publishes round-robin across the
+// subjects.
+type Comparison struct {
+	Subs         int     `json:"subs"`
+	Subjects     int     `json:"subjects"`
+	Conns        int     `json:"conns"`
+	Msgs         int     `json:"msgs"`
+	PayloadBytes int     `json:"payload_bytes"`
+	Current      Result  `json:"current"`
+	Seed         Result  `json:"seed"`
+	Speedup      float64 `json:"speedup"`
+}
+
+// CompareFanout measures routing+delivery throughput on the current
+// broker and on the seed baseline with the same driver and returns the
+// like-for-like speedup. subs must divide evenly across subjects.
+func CompareFanout(subs, subjects, conns, msgs, payload int) (Comparison, error) {
+	if subjects <= 0 || subs%subjects != 0 {
+		return Comparison{}, fmt.Errorf("subs (%d) must divide evenly over subjects (%d)", subs, subjects)
+	}
+	cmp := Comparison{Subs: subs, Subjects: subjects, Conns: conns, Msgs: msgs, PayloadBytes: payload}
+
+	srv := broker.NewServer(broker.WithSeed(1))
+	if err := srv.ListenAndServe("127.0.0.1:0"); err != nil {
+		return cmp, err
+	}
+	cur, err := driveFanout(srv.Addr().String(), subs, subjects, conns, msgs, payload)
+	srv.Shutdown()
+	if err != nil {
+		return cmp, fmt.Errorf("current broker: %w", err)
+	}
+	cmp.Current = cur
+
+	seed := newSeedServer()
+	if err := seed.listen("127.0.0.1:0"); err != nil {
+		return cmp, err
+	}
+	old, err := driveFanout(seed.addr(), subs, subjects, conns, msgs, payload)
+	seed.shutdown()
+	if err != nil {
+		return cmp, fmt.Errorf("seed broker: %w", err)
+	}
+	cmp.Seed = old
+
+	if old.DeliveriesPerSec > 0 {
+		cmp.Speedup = cur.DeliveriesPerSec / old.DeliveriesPerSec
+	}
+	return cmp, nil
+}
+
+// currentFanout measures just the current broker on the comparison
+// workload (used by the Go benchmarks).
+func currentFanout(subs, subjects, conns, msgs, payload int) (Result, error) {
+	srv := broker.NewServer(broker.WithSeed(1))
+	if err := srv.ListenAndServe("127.0.0.1:0"); err != nil {
+		return Result{}, err
+	}
+	defer srv.Shutdown()
+	return driveFanout(srv.Addr().String(), subs, subjects, conns, msgs, payload)
+}
+
+// driveFanout runs the workload against any broker speaking the wire
+// protocol at addr and times first-publish -> last-delivery.
+func driveFanout(addr string, subs, subjects, conns, msgs, payload int) (Result, error) {
+	var res Result
+	res.Msgs = msgs
+
+	var delivered atomic.Uint64
+	subscribers := make([]net.Conn, conns)
+	pongs := make([]chan struct{}, conns)
+	for i := range subscribers {
+		conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+		if err != nil {
+			return res, err
+		}
+		defer conn.Close()
+		subscribers[i] = conn
+		pongs[i] = make(chan struct{}, 1)
+		go countDeliveries(conn, &delivered, pongs[i])
+	}
+
+	// Spread the subscriptions: sub j lives on conn j%conns and matches
+	// subject "bench.s<j%subjects>".
+	for i, conn := range subscribers {
+		w := bufio.NewWriterSize(conn, 64*1024)
+		for j := i; j < subs; j += conns {
+			w.WriteString("SUB bench.s" + strconv.Itoa(j%subjects) + " " + strconv.Itoa(j) + "\r\n")
+		}
+		if err := w.Flush(); err != nil {
+			return res, err
+		}
+	}
+	// PING/PONG barrier so every SUB is processed before timing starts
+	// (the reader goroutine forwards the PONG).
+	for i, conn := range subscribers {
+		if _, err := conn.Write([]byte("PING\r\n")); err != nil {
+			return res, err
+		}
+		select {
+		case <-pongs[i]:
+		case <-time.After(30 * time.Second):
+			return res, fmt.Errorf("conn %d: no PONG after subscribe", i)
+		}
+	}
+
+	pub, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return res, err
+	}
+	defer pub.Close()
+
+	perSubject := subs / subjects
+	expected := uint64(msgs) * uint64(perSubject)
+	body := make([]byte, payload)
+	scratch := make([]byte, 0, payload+64)
+	pw := bufio.NewWriterSize(pub, 64*1024)
+
+	start := time.Now()
+	for i := 0; i < msgs; i++ {
+		scratch = scratch[:0]
+		scratch = append(scratch, "PUB bench.s"...)
+		scratch = strconv.AppendInt(scratch, int64(i%subjects), 10)
+		scratch = append(scratch, ' ')
+		scratch = strconv.AppendInt(scratch, int64(payload), 10)
+		scratch = append(scratch, '\r', '\n')
+		scratch = append(scratch, body...)
+		scratch = append(scratch, '\r', '\n')
+		if _, err := pw.Write(scratch); err != nil {
+			return res, err
+		}
+	}
+	if err := pw.Flush(); err != nil {
+		return res, err
+	}
+	deadline := time.Now().Add(120 * time.Second)
+	for delivered.Load() < expected {
+		if time.Now().After(deadline) {
+			return res, fmt.Errorf("timeout: %d of %d deliveries", delivered.Load(), expected)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	res.Seconds = time.Since(start).Seconds()
+	res.Deliveries = expected
+	res.MsgsPerSec = float64(msgs) / res.Seconds
+	res.DeliveriesPerSec = float64(expected) / res.Seconds
+	res.NsPerDelivery = res.Seconds * 1e9 / float64(expected)
+	return res, nil
+}
+
+// countDeliveries parses MSG frames off conn, bumping n per message and
+// forwarding PONGs to the setup barrier.
+func countDeliveries(conn net.Conn, n *atomic.Uint64, pong chan<- struct{}) {
+	r := bufio.NewReaderSize(conn, 256*1024)
+	var skip []byte
+	for {
+		line, err := r.ReadSlice('\n')
+		if err != nil {
+			return
+		}
+		if len(line) >= 4 && line[0] == 'P' && line[1] == 'O' {
+			select {
+			case pong <- struct{}{}:
+			default:
+			}
+			continue
+		}
+		if len(line) < 4 || line[0] != 'M' || line[1] != 'S' || line[2] != 'G' {
+			continue
+		}
+		// Last space-separated field is the payload size.
+		sz := 0
+		for i := len(line) - 2; i >= 0; i-- {
+			if line[i] == ' ' {
+				sz, _ = strconv.Atoi(string(line[i+1 : len(line)-2]))
+				break
+			}
+		}
+		if cap(skip) < sz+2 {
+			skip = make([]byte, sz+2)
+		}
+		if _, err := io.ReadFull(r, skip[:sz+2]); err != nil {
+			return
+		}
+		n.Add(1)
+	}
+}

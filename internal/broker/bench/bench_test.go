@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestFanoutSpeedup is the acceptance pin: at 10k subscriptions the
+// rebuilt broker must clear 2x the seed broker's routing+delivery
+// throughput. The margin in practice is much larger (trie+cache lookup
+// vs a 10k-entry Match scan per publish, coalesced writes vs three
+// syscalls per delivery), so 2x holds even on a loaded CI box.
+func TestFanoutSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fan-out comparison is seconds-long; skipped in -short")
+	}
+	cmp, err := CompareFanout(10_000, 100, 20, 100, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("current %.0f deliveries/s, seed %.0f deliveries/s, speedup %.2fx",
+		cmp.Current.DeliveriesPerSec, cmp.Seed.DeliveriesPerSec, cmp.Speedup)
+	if cmp.Speedup < 2 {
+		t.Errorf("speedup %.2fx over seed broker, want >= 2x", cmp.Speedup)
+	}
+}
+
+// TestCompareFanoutSmall keeps the driver itself honest at a size that
+// runs in milliseconds (both brokers must deliver exactly the expected
+// fan-out).
+func TestCompareFanoutSmall(t *testing.T) {
+	cmp, err := CompareFanout(60, 6, 4, 30, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Current.Deliveries != 300 || cmp.Seed.Deliveries != 300 {
+		t.Errorf("deliveries current=%d seed=%d, want 300", cmp.Current.Deliveries, cmp.Seed.Deliveries)
+	}
+}
+
+// BenchmarkFanout10k measures the current broker alone: b.N publishes
+// into a 10k-subscription table (100 subscribers per subject).
+func BenchmarkFanout10k(b *testing.B) {
+	res, err := currentFanout(10_000, 100, 20, max(b.N, 10), 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(res.DeliveriesPerSec, "deliveries/s")
+	b.ReportMetric(res.NsPerDelivery, "ns/delivery")
+}

@@ -26,7 +26,8 @@ type Handler func(Msg)
 type Client struct {
 	conn net.Conn
 
-	wmu sync.Mutex // serializes writes
+	wmu     sync.Mutex // serializes writes, guards scratch
+	scratch []byte     // reusable frame-encode buffer
 
 	mu      sync.Mutex
 	subs    map[string]*Subscription
@@ -54,7 +55,7 @@ func NewClient(conn net.Conn) (*Client, error) {
 		subs: make(map[string]*Subscription),
 		done: make(chan struct{}),
 	}
-	if err := c.sendf("CONNECT client\r\n"); err != nil {
+	if err := c.sendLine("CONNECT", "client"); err != nil {
 		conn.Close()
 		return nil, err
 	}
@@ -105,9 +106,9 @@ func (c *Client) subscribe(pattern, queue string, handler Handler) (*Subscriptio
 
 	var err error
 	if queue == "" {
-		err = c.sendf("SUB %s %s\r\n", pattern, sid)
+		err = c.sendLine("SUB", pattern, sid)
 	} else {
-		err = c.sendf("SUB %s %s %s\r\n", pattern, queue, sid)
+		err = c.sendLine("SUB", pattern, queue, sid)
 	}
 	if err != nil {
 		c.mu.Lock()
@@ -124,7 +125,7 @@ func (s *Subscription) Unsubscribe() error {
 	c.mu.Lock()
 	delete(c.subs, s.sid)
 	c.mu.Unlock()
-	return c.sendf("UNSUB %s\r\n", s.sid)
+	return c.sendLine("UNSUB", s.sid)
 }
 
 // Publish sends data on subject.
@@ -135,15 +136,21 @@ func (c *Client) Publish(subject string, data []byte) error {
 	if len(data) > MaxPayload {
 		return fmt.Errorf("broker: payload %d exceeds max %d", len(data), MaxPayload)
 	}
+	// Build the whole frame (header + payload + CRLF) in a reusable
+	// scratch buffer: one conn.Write, zero per-publish allocations once
+	// the buffer has grown to the working payload size.
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	if _, err := fmt.Fprintf(c.conn, "PUB %s %d\r\n", subject, len(data)); err != nil {
-		return err
-	}
-	if _, err := c.conn.Write(data); err != nil {
-		return err
-	}
-	_, err := io.WriteString(c.conn, "\r\n")
+	b := c.scratch[:0]
+	b = append(b, "PUB "...)
+	b = append(b, subject...)
+	b = append(b, ' ')
+	b = strconv.AppendInt(b, int64(len(data)), 10)
+	b = append(b, '\r', '\n')
+	b = append(b, data...)
+	b = append(b, '\r', '\n')
+	c.scratch = b
+	_, err := c.conn.Write(b)
 	return err
 }
 
@@ -158,7 +165,7 @@ func (c *Client) Flush(timeout time.Duration) error {
 	}
 	c.pongs = append(c.pongs, ch)
 	c.mu.Unlock()
-	if err := c.sendf("PING\r\n"); err != nil {
+	if err := c.sendLine("PING"); err != nil {
 		return err
 	}
 	select {
@@ -197,10 +204,21 @@ func (c *Client) err() error {
 	return ErrClientClosed
 }
 
-func (c *Client) sendf(format string, args ...any) error {
+// sendLine writes a space-joined, CRLF-terminated control line through
+// the shared scratch buffer (no fmt, no per-call garbage).
+func (c *Client) sendLine(words ...string) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	_, err := fmt.Fprintf(c.conn, format, args...)
+	b := c.scratch[:0]
+	for i, w := range words {
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = append(b, w...)
+	}
+	b = append(b, '\r', '\n')
+	c.scratch = b
+	_, err := c.conn.Write(b)
 	return err
 }
 

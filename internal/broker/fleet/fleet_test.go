@@ -1,0 +1,113 @@
+package fleet
+
+import (
+	"testing"
+)
+
+// TestFleetAccounting runs a small fleet over real sockets and checks
+// the invariant the harness is built on: every expected delivery is
+// accounted for (received or dropped) and latency stamps are sane.
+func TestFleetAccounting(t *testing.T) {
+	res, err := Run(Config{
+		Subscribers:  500,
+		Conns:        4,
+		PayloadBytes: 64,
+		Messages:     100,
+		Seed:         7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	expected := uint64(100 * 500)
+	if res.Delivered+res.Dropped < expected {
+		t.Fatalf("delivered %d + dropped %d < expected %d", res.Delivered, res.Dropped, expected)
+	}
+	if res.Delivered == 0 {
+		t.Fatal("no deliveries at all")
+	}
+	if res.LatencyP50Ms <= 0 {
+		t.Errorf("p50 latency %v ms, want > 0", res.LatencyP50Ms)
+	}
+	if res.LatencyP50Ms > res.LatencyP999Ms {
+		t.Errorf("p50 %.3fms > p99.9 %.3fms", res.LatencyP50Ms, res.LatencyP999Ms)
+	}
+	if res.LatencyMaxMs+0.001 < res.LatencyP999Ms {
+		t.Errorf("max %.3fms < p99.9 %.3fms", res.LatencyMaxMs, res.LatencyP999Ms)
+	}
+	if res.DeliveriesPerSec <= 0 {
+		t.Error("no throughput measured")
+	}
+}
+
+// TestFleetPaced checks the rate limiter: at 50 Hz, 20 messages cannot
+// complete faster than ~380ms of pacing.
+func TestFleetPaced(t *testing.T) {
+	res, err := Run(Config{
+		Subscribers:  20,
+		Conns:        2,
+		PayloadBytes: 16,
+		Messages:     20,
+		RateHz:       50,
+		Seed:         7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seconds < 0.35 {
+		t.Errorf("paced run took %.3fs, want >= 0.35s (19 intervals at 20ms)", res.Seconds)
+	}
+	if res.PublishPerSec > 60 {
+		t.Errorf("publish rate %.1f/s, want <= ~50", res.PublishPerSec)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := uint64(1); i <= 1000; i++ {
+		h.Record(i * 1000) // 1us .. 1ms
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d, want 1000", h.Count())
+	}
+	check := func(q, want float64) {
+		t.Helper()
+		got := float64(h.Quantile(q))
+		// Log-linear buckets with 16 sub-buckets: <= ~7% relative error.
+		if got < want*0.9 || got > want*1.1 {
+			t.Errorf("q%.3f = %.0f, want within 10%% of %.0f", q, got, want)
+		}
+	}
+	check(0.50, 500_000)
+	check(0.99, 990_000)
+	check(1.0, 1_000_000)
+	if h.Max() != 1_000_000 {
+		t.Errorf("max = %d, want 1000000", h.Max())
+	}
+
+	var other Histogram
+	other.Record(2_000_000)
+	h.Merge(&other)
+	if h.Count() != 1001 || h.Max() != 2_000_000 {
+		t.Errorf("after merge: count=%d max=%d", h.Count(), h.Max())
+	}
+}
+
+func TestHistogramBucketsMonotone(t *testing.T) {
+	prev := -1
+	for _, v := range []uint64{0, 1, 15, 16, 17, 31, 32, 100, 1 << 20, 1<<40 + 12345, 1<<63 + 9} {
+		b := bucketOf(v)
+		if b < prev {
+			t.Fatalf("bucketOf(%d) = %d < previous bucket %d", v, b, prev)
+		}
+		if b < 0 || b >= histBuckets {
+			t.Fatalf("bucketOf(%d) = %d out of range", v, b)
+		}
+		// The representative value must land back in the same bucket
+		// neighborhood (within one bucket of rounding).
+		rb := bucketOf(bucketValue(b))
+		if rb < b-1 || rb > b+1 {
+			t.Errorf("bucketValue(%d)=%d maps to bucket %d", b, bucketValue(b), rb)
+		}
+		prev = b
+	}
+}

@@ -1,0 +1,97 @@
+package fleet
+
+import "math/bits"
+
+// Histogram is a log-linear latency histogram: 16 sub-buckets per
+// power-of-two octave, so recorded values carry at most ~6% relative
+// error while the whole uint64 range fits in under 1000 counters. Each
+// reader goroutine owns one (no locking on the record path); they are
+// merged once the run completes.
+type Histogram struct {
+	counts [histBuckets]uint64
+	total  uint64
+	max    uint64
+}
+
+const (
+	histSubBits = 4
+	histSub     = 1 << histSubBits
+	// Octave 0 holds values 0..15 exactly; octaves 1..60 cover the rest
+	// of the uint64 range at histSub buckets each.
+	histBuckets = 61 * histSub
+)
+
+func bucketOf(v uint64) int {
+	if v < histSub {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1 // >= histSubBits
+	oct := exp - histSubBits + 1
+	sub := int(v>>uint(exp-histSubBits)) & (histSub - 1)
+	return oct<<histSubBits | sub
+}
+
+// bucketValue returns a representative (midpoint) value for a bucket.
+func bucketValue(idx int) uint64 {
+	if idx < histSub {
+		return uint64(idx)
+	}
+	oct := idx >> histSubBits
+	sub := uint64(idx & (histSub - 1))
+	lo := (histSub + sub) << uint(oct-1)
+	return lo + 1<<uint(oct-1)/2
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(v uint64) {
+	h.counts[bucketOf(v)]++
+	h.total++
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Max returns the largest recorded observation (exact, not bucketed).
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Quantile returns the approximate value at quantile q in [0,1].
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(h.total-1))
+	var seen uint64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		seen += c
+		if seen > rank {
+			v := bucketValue(i)
+			if v > h.max {
+				return h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}

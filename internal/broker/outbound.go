@@ -1,0 +1,226 @@
+package broker
+
+import (
+	"bufio"
+	"net"
+	"sync"
+)
+
+// Delivery no longer writes to the socket from the publish path. Each
+// client owns a bounded outbound queue drained by a single writer
+// goroutine into a bufio.Writer: frame header, payload, and CRLF are
+// coalesced into the buffer and flushed only when the queue runs empty
+// (or bufio's own size threshold forces it), so a 10k-way fan-out costs
+// ~one syscall per client per batch instead of three per message. The
+// single drain goroutine is also the FIFO argument: frames enter the
+// queue in route order under the shard lock and leave in queue order on
+// one goroutine, so per-client delivery order is exactly enqueue order.
+//
+// The queue is bounded in both frames and payload bytes. When a client
+// stops reading and its queue fills, the configured SlowConsumerPolicy
+// decides: drop the new frame and count it (SlowConsumerDrop), or close
+// the connection (SlowConsumerDisconnect, the default — a stalled
+// subscriber is evicted rather than silently lossy). Either way the
+// publish path never blocks on one stalled subscriber.
+
+// SlowConsumerPolicy selects what happens when a client's outbound
+// queue overflows.
+type SlowConsumerPolicy int
+
+const (
+	// SlowConsumerDisconnect closes the overflowing client's connection
+	// (counted in ServerStats.SlowConsumerDisconnects).
+	SlowConsumerDisconnect SlowConsumerPolicy = iota
+	// SlowConsumerDrop drops the frame that would overflow and keeps the
+	// connection (counted in ServerStats.SlowConsumerDrops).
+	SlowConsumerDrop
+)
+
+// Defaults for the per-client outbound queue and the writer's buffer.
+const (
+	defaultQueueFrames = 16384
+	defaultQueueBytes  = 32 << 20
+	writeBufSize       = 64 * 1024
+)
+
+// outFrame is one queued write: header is a pooled buffer holding either
+// a full control line (payload nil) or a MSG header; for MSG frames the
+// shared fan-out payload follows, then CRLF.
+type outFrame struct {
+	header  []byte
+	payload []byte
+}
+
+func (f outFrame) size() int64 {
+	n := int64(len(f.header))
+	if f.payload != nil {
+		n += int64(len(f.payload)) + 2
+	}
+	return n
+}
+
+// enqueue outcomes.
+type enqResult int
+
+const (
+	enqOK enqResult = iota
+	enqOverflow
+	enqClosed
+)
+
+// outQueue is the bounded frame queue between route() and a client's
+// writer goroutine.
+type outQueue struct {
+	mu        sync.Mutex
+	cond      sync.Cond
+	frames    []outFrame
+	bytes     int64
+	maxFrames int
+	maxBytes  int64
+	closed    bool
+}
+
+func (q *outQueue) init(maxFrames int, maxBytes int64) {
+	q.cond.L = &q.mu
+	q.maxFrames = maxFrames
+	q.maxBytes = maxBytes
+}
+
+func (q *outQueue) enqueue(f outFrame) enqResult {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return enqClosed
+	}
+	if len(q.frames) >= q.maxFrames || q.bytes+f.size() > q.maxBytes {
+		q.mu.Unlock()
+		return enqOverflow
+	}
+	wasEmpty := len(q.frames) == 0
+	q.frames = append(q.frames, f)
+	q.bytes += f.size()
+	q.mu.Unlock()
+	if wasEmpty {
+		q.cond.Signal()
+	}
+	return enqOK
+}
+
+// take blocks until frames are pending or the queue is closed, moving
+// everything pending into dst. A (empty, true) return means closed and
+// fully drained.
+func (q *outQueue) take(dst []outFrame) ([]outFrame, bool) {
+	q.mu.Lock()
+	for len(q.frames) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	dst = append(dst, q.frames...)
+	for i := range q.frames {
+		q.frames[i] = outFrame{}
+	}
+	q.frames = q.frames[:0]
+	q.bytes = 0
+	closed := q.closed
+	q.mu.Unlock()
+	return dst, closed
+}
+
+func (q *outQueue) pending() bool {
+	q.mu.Lock()
+	n := len(q.frames)
+	q.mu.Unlock()
+	return n > 0
+}
+
+// close marks the queue closed. The writer drains what is already queued
+// (flushing it) and then closes the connection.
+func (q *outQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// discard marks the queue closed and throws away anything pending —
+// used on write errors, when the bytes can no longer reach the peer.
+func (q *outQueue) discard() {
+	q.mu.Lock()
+	q.closed = true
+	for i := range q.frames {
+		putHeaderBuf(q.frames[i].header)
+		q.frames[i] = outFrame{}
+	}
+	q.frames = q.frames[:0]
+	q.bytes = 0
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// headerPool recycles the small per-frame header/control-line buffers,
+// mirroring the udpnet encode-buffer reuse from the transport layer.
+var headerPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 64)
+		return &b
+	},
+}
+
+func getHeaderBuf() []byte {
+	return (*(headerPool.Get().(*[]byte)))[:0]
+}
+
+func putHeaderBuf(b []byte) {
+	if b == nil || cap(b) > 4096 {
+		return // don't hoard buffers grown by long subjects
+	}
+	headerPool.Put(&b)
+}
+
+// encodeLine appends a control line + CRLF to a pooled buf.
+func encodeLine(line string) []byte {
+	b := getHeaderBuf()
+	b = append(b, line...)
+	b = append(b, '\r', '\n')
+	return b
+}
+
+var crlf = []byte("\r\n")
+
+// writeLoop is the per-client writer goroutine: it drains the queue in
+// batches, coalesces frames into the buffered writer, and flushes when
+// the queue runs dry. It owns the final conn.Close so that queued
+// protocol replies (-ERR, PONG) reach the peer before teardown.
+func writeLoop(conn net.Conn, q *outQueue) {
+	bw := bufio.NewWriterSize(conn, writeBufSize)
+	var batch []outFrame
+	for {
+		var closed bool
+		batch, closed = q.take(batch[:0])
+		if len(batch) == 0 && closed {
+			bw.Flush()
+			conn.Close()
+			return
+		}
+		ok := true
+		for _, f := range batch {
+			if ok {
+				_, err := bw.Write(f.header)
+				if err == nil && f.payload != nil {
+					if _, err = bw.Write(f.payload); err == nil {
+						_, err = bw.Write(crlf)
+					}
+				}
+				ok = err == nil
+			}
+			putHeaderBuf(f.header)
+		}
+		if ok && !q.pending() {
+			ok = bw.Flush() == nil
+		}
+		if !ok {
+			// The peer is gone: unblock the reader and drop the rest.
+			conn.Close()
+			q.discard()
+		}
+	}
+}

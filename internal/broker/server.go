@@ -8,6 +8,13 @@
 // configurability), and it gives the runnable examples a real-socket data
 // path alongside the simulated DDS/ANT stack.
 //
+// The data path is built for high fan-out: subscriptions live in
+// sharded subject-token tries with per-subject match caches (see
+// sublist.go), publishes take one shard lock instead of a server-wide
+// one, hot counters are atomics, and every client drains a bounded
+// outbound queue through a coalescing writer goroutine (see outbound.go)
+// so a stalled subscriber can never stall the fan-out.
+//
 // Wire protocol (text, CRLF-terminated control lines):
 //
 //	C->S: CONNECT <name>
@@ -24,11 +31,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math/rand"
 	"net"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -43,18 +51,93 @@ type ServerStats struct {
 	BytesIn       uint64
 	BytesOut      uint64
 	Subscriptions uint64
+
+	// SlowConsumerDrops counts frames dropped by SlowConsumerDrop;
+	// SlowConsumerDisconnects counts clients evicted by
+	// SlowConsumerDisconnect.
+	SlowConsumerDrops       uint64
+	SlowConsumerDisconnects uint64
+}
+
+// counters are the hot-path stats, kept as atomics so the publish path
+// never takes the server lock.
+type counters struct {
+	connections     atomic.Uint64
+	msgsIn          atomic.Uint64
+	msgsOut         atomic.Uint64
+	bytesIn         atomic.Uint64
+	bytesOut        atomic.Uint64
+	subscriptions   atomic.Uint64
+	slowDrops       atomic.Uint64
+	slowDisconnects atomic.Uint64
+}
+
+// options collects server tuning knobs; all have workable defaults.
+type options struct {
+	seed        int64
+	hasSeed     bool
+	shards      int
+	queueFrames int
+	queueBytes  int64
+	slowPolicy  SlowConsumerPolicy
+}
+
+// Option configures a Server at construction time.
+type Option func(*options)
+
+// WithSeed fixes the rng seed used for queue-group member picks, making
+// pick order reproducible (each routing shard derives its own stream
+// from it). Without it the seed comes from the ADAMANT_BROKER_SEED
+// environment variable if set, else from the clock.
+func WithSeed(seed int64) Option {
+	return func(o *options) { o.seed = seed; o.hasSeed = true }
+}
+
+// WithShards sets the routing shard count (default 8). More shards mean
+// less publish contention across disjoint subject spaces.
+func WithShards(n int) Option {
+	return func(o *options) {
+		if n > 0 {
+			o.shards = n
+		}
+	}
+}
+
+// WithWriteQueue bounds each client's outbound queue in frames and
+// payload bytes (defaults 16384 frames / 32 MiB). Overflow triggers the
+// slow-consumer policy.
+func WithWriteQueue(frames int, bytes int64) Option {
+	return func(o *options) {
+		if frames > 0 {
+			o.queueFrames = frames
+		}
+		if bytes > 0 {
+			o.queueBytes = bytes
+		}
+	}
+}
+
+// WithSlowConsumerPolicy selects the overflow policy (default
+// SlowConsumerDisconnect).
+func WithSlowConsumerPolicy(p SlowConsumerPolicy) Option {
+	return func(o *options) { o.slowPolicy = p }
 }
 
 // Server is the broker. Create with NewServer, start with Serve or
 // ListenAndServe, stop with Shutdown.
 type Server struct {
+	opts   options
+	shards []*shard
+	stats  counters
+
+	// numSubs is the live logical subscription count (a wildcard-first
+	// pattern is stored in every shard but counts once).
+	numSubs atomic.Int64
+
 	mu       sync.Mutex
 	ln       net.Listener
 	clients  map[*serverClient]struct{}
-	subs     map[*serverSub]struct{}
 	nextCID  uint64
-	stats    ServerStats
-	rng      *rand.Rand
 	shutdown bool
 	done     chan struct{}
 	doneOnce sync.Once
@@ -68,13 +151,37 @@ type serverSub struct {
 }
 
 // NewServer returns an idle broker.
-func NewServer() *Server {
-	return &Server{
+func NewServer(opts ...Option) *Server {
+	o := options{
+		shards:      8,
+		queueFrames: defaultQueueFrames,
+		queueBytes:  defaultQueueBytes,
+		slowPolicy:  SlowConsumerDisconnect,
+	}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	if !o.hasSeed {
+		if env := os.Getenv("ADAMANT_BROKER_SEED"); env != "" {
+			if v, err := strconv.ParseInt(env, 10, 64); err == nil {
+				o.seed = v
+				o.hasSeed = true
+			}
+		}
+	}
+	if !o.hasSeed {
+		o.seed = time.Now().UnixNano()
+	}
+	s := &Server{
+		opts:    o,
+		shards:  make([]*shard, o.shards),
 		clients: make(map[*serverClient]struct{}),
-		subs:    make(map[*serverSub]struct{}),
-		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
 		done:    make(chan struct{}),
 	}
+	for i := range s.shards {
+		s.shards[i] = newShard(o.seed + int64(i))
+	}
+	return s
 }
 
 // ListenAndServe listens on addr ("host:port", ":0" for ephemeral) and
@@ -118,19 +225,30 @@ func (s *Server) Serve(ln net.Listener) {
 		if err != nil {
 			return // listener closed by Shutdown
 		}
-		s.mu.Lock()
-		if s.shutdown {
-			s.mu.Unlock()
-			conn.Close()
+		if s.startClient(conn) == nil {
 			return
 		}
-		s.nextCID++
-		c := &serverClient{srv: s, conn: conn, id: s.nextCID}
-		s.clients[c] = struct{}{}
-		s.stats.Connections++
-		s.mu.Unlock()
-		go c.run()
 	}
+}
+
+// startClient registers conn and spawns its reader and writer
+// goroutines. It returns nil when the server is shutting down.
+func (s *Server) startClient(conn net.Conn) *serverClient {
+	s.mu.Lock()
+	if s.shutdown {
+		s.mu.Unlock()
+		conn.Close()
+		return nil
+	}
+	s.nextCID++
+	c := &serverClient{srv: s, conn: conn, id: s.nextCID, subs: make(map[string][]*serverSub)}
+	c.out.init(s.opts.queueFrames, s.opts.queueBytes)
+	s.clients[c] = struct{}{}
+	s.mu.Unlock()
+	s.stats.connections.Add(1)
+	go c.run()
+	go writeLoop(conn, &c.out)
+	return c
 }
 
 // Shutdown closes the listener and every client connection.
@@ -158,129 +276,207 @@ func (s *Server) Shutdown() {
 
 // Stats returns a snapshot of the broker counters.
 func (s *Server) Stats() ServerStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return ServerStats{
+		Connections:             s.stats.connections.Load(),
+		MsgsIn:                  s.stats.msgsIn.Load(),
+		MsgsOut:                 s.stats.msgsOut.Load(),
+		BytesIn:                 s.stats.bytesIn.Load(),
+		BytesOut:                s.stats.bytesOut.Load(),
+		Subscriptions:           s.stats.subscriptions.Load(),
+		SlowConsumerDrops:       s.stats.slowDrops.Load(),
+		SlowConsumerDisconnects: s.stats.slowDisconnects.Load(),
+	}
 }
 
 // NumSubscriptions returns the live subscription count.
 func (s *Server) NumSubscriptions() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.subs)
+	return int(s.numSubs.Load())
 }
 
 // route delivers a message to every matching subscription; queue-group
-// subscriptions receive one copy per group, on a randomly chosen member.
-func (s *Server) route(subject string, payload []byte) {
-	s.mu.Lock()
-	var direct []*serverSub
-	queues := make(map[string][]*serverSub)
-	for sub := range s.subs {
-		if !Match(subject, sub.pattern) {
-			continue
-		}
-		if sub.queue == "" {
-			direct = append(direct, sub)
-		} else {
-			key := sub.queue + " " + sub.pattern
-			queues[key] = append(queues[key], sub)
+// subscriptions receive one copy per group, on a member chosen by the
+// shard's seeded rng. Only the subject's shard lock is held.
+func (s *Server) route(subject, payload []byte) {
+	sh := s.shards[shardIndexBytes(subject, len(s.shards))]
+	sh.mu.Lock()
+	rs := sh.matchBytes(subject)
+	out := 0
+	for _, sub := range rs.plain {
+		if sub.client.sendMsg(subject, sub.sid, payload) {
+			out++
 		}
 	}
-	for _, members := range queues {
-		direct = append(direct, members[s.rng.Intn(len(members))])
+	for _, members := range rs.queues {
+		pick := members[sh.rng.Intn(len(members))]
+		if pick.client.sendMsg(subject, pick.sid, payload) {
+			out++
+		}
 	}
-	s.stats.MsgsIn++
-	s.stats.BytesIn += uint64(len(payload))
-	s.stats.MsgsOut += uint64(len(direct))
-	s.stats.BytesOut += uint64(len(direct) * len(payload))
-	s.mu.Unlock()
-	for _, sub := range direct {
-		sub.client.sendMsg(subject, sub.sid, payload)
+	sh.mu.Unlock()
+	s.stats.msgsIn.Add(1)
+	s.stats.bytesIn.Add(uint64(len(payload)))
+	s.stats.msgsOut.Add(uint64(out))
+	s.stats.bytesOut.Add(uint64(out * len(payload)))
+}
+
+// matchBytes is shard.match keyed by a borrowed byte slice: the cache
+// probe allocates nothing on a hit, and the subject string is only
+// materialized on a miss.
+func (sh *shard) matchBytes(subject []byte) *routeSet {
+	if rs, ok := sh.cache[string(subject)]; ok && rs.gen == sh.gen {
+		return rs
 	}
+	subj := string(subject)
+	rs := &routeSet{gen: sh.gen}
+	collect(sh.root, subj, rs)
+	if len(sh.cache) >= maxCachedSubjects {
+		sh.cache = make(map[string]*routeSet)
+	}
+	sh.cache[subj] = rs
+	return rs
+}
+
+// shardIndexBytes mirrors shardIndex for a borrowed subject slice.
+func shardIndexBytes(subject []byte, n int) int {
+	end := len(subject)
+	for i := 0; i < end; i++ {
+		if subject[i] == '.' {
+			end = i
+			break
+		}
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < end; i++ {
+		h ^= uint64(subject[i])
+		h *= prime64
+	}
+	return int(h % uint64(n))
 }
 
 func (s *Server) addSub(sub *serverSub) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.subs[sub] = struct{}{}
-	s.stats.Subscriptions++
+	c := sub.client
+	c.smu.Lock()
+	c.subs[sub.sid] = append(c.subs[sub.sid], sub)
+	c.smu.Unlock()
+	s.eachPatternShard(sub.pattern, func(sh *shard) {
+		sh.insert(sub)
+	})
+	s.stats.subscriptions.Add(1)
+	s.numSubs.Add(1)
 }
 
-func (s *Server) removeSub(client *serverClient, sid string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for sub := range s.subs {
-		if sub.client == client && sub.sid == sid {
-			delete(s.subs, sub)
-		}
+func (s *Server) removeSub(c *serverClient, sid string) {
+	c.smu.Lock()
+	subs := c.subs[sid]
+	delete(c.subs, sid)
+	c.smu.Unlock()
+	for _, sub := range subs {
+		s.eachPatternShard(sub.pattern, func(sh *shard) {
+			sh.remove(sub)
+		})
+		s.numSubs.Add(-1)
+	}
+}
+
+// eachPatternShard runs fn under the lock of every shard the pattern
+// routes through: one for a literal first token, all for a wildcard.
+func (s *Server) eachPatternShard(pattern string, fn func(*shard)) {
+	if idx := shardIndex(pattern, len(s.shards)); idx >= 0 {
+		sh := s.shards[idx]
+		sh.mu.Lock()
+		fn(sh)
+		sh.mu.Unlock()
+		return
+	}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		fn(sh)
+		sh.mu.Unlock()
 	}
 }
 
 func (s *Server) dropClient(c *serverClient) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	delete(s.clients, c)
-	for sub := range s.subs {
-		if sub.client == c {
-			delete(s.subs, sub)
+	s.mu.Unlock()
+	c.smu.Lock()
+	all := c.subs
+	c.subs = make(map[string][]*serverSub)
+	c.smu.Unlock()
+	for _, subs := range all {
+		for _, sub := range subs {
+			s.eachPatternShard(sub.pattern, func(sh *shard) {
+				sh.remove(sub)
+			})
+			s.numSubs.Add(-1)
 		}
 	}
 }
 
 type serverClient struct {
-	srv  *Server
-	conn net.Conn
-	id   uint64
+	srv     *Server
+	conn    net.Conn
+	id      uint64
+	out     outQueue
+	subjBuf []byte // publish-subject scratch, reader goroutine only
 
-	wmu sync.Mutex // serializes writes to conn
+	smu  sync.Mutex
+	subs map[string][]*serverSub // sid -> subs (duplicate sids allowed)
 }
 
 func (c *serverClient) run() {
 	defer func() {
-		c.conn.Close()
 		c.srv.dropClient(c)
+		// The writer drains queued replies (-ERR, PONG, trailing MSGs),
+		// flushes, and closes the connection.
+		c.out.close()
 	}()
 	r := bufio.NewReaderSize(c.conn, 64*1024)
+	var fields [8][]byte
 	for {
-		line, err := readLine(r)
+		line, err := readLineSlice(r)
 		if err != nil {
 			return
 		}
-		if line == "" {
+		nf := splitFields(line, fields[:0])
+		if len(nf) == 0 {
 			continue
 		}
-		fields := strings.Fields(line)
-		switch strings.ToUpper(fields[0]) {
-		case "CONNECT":
-			// Name is informational only.
-		case "PING":
-			c.sendLine("PONG")
-		case "SUB":
-			c.handleSub(fields)
-		case "UNSUB":
-			if len(fields) != 2 {
+		cmd := nf[0]
+		switch {
+		case asciiFold(cmd, "PUB"):
+			if err := c.handlePub(nf, r); err != nil {
+				return
+			}
+		case asciiFold(cmd, "SUB"):
+			c.handleSub(nf)
+		case asciiFold(cmd, "UNSUB"):
+			if len(nf) != 2 {
 				c.sendErr("UNSUB requires <sid>")
 				continue
 			}
-			c.srv.removeSub(c, fields[1])
-		case "PUB":
-			if err := c.handlePub(fields, r); err != nil {
-				return
-			}
+			c.srv.removeSub(c, string(nf[1]))
+		case asciiFold(cmd, "PING"):
+			c.sendLine("PONG")
+		case asciiFold(cmd, "CONNECT"):
+			// Name is informational only.
 		default:
-			c.sendErr("unknown command " + fields[0])
+			c.sendErr("unknown command " + string(cmd))
 		}
 	}
 }
 
-func (c *serverClient) handleSub(fields []string) {
+func (c *serverClient) handleSub(fields [][]byte) {
 	var pattern, queue, sid string
 	switch len(fields) {
 	case 3:
-		pattern, sid = fields[1], fields[2]
+		pattern, sid = string(fields[1]), string(fields[2])
 	case 4:
-		pattern, queue, sid = fields[1], fields[2], fields[3]
+		pattern, queue, sid = string(fields[1]), string(fields[2]), string(fields[3])
 	default:
 		c.sendErr("SUB requires <subject> [queue] <sid>")
 		return
@@ -292,14 +488,17 @@ func (c *serverClient) handleSub(fields []string) {
 	c.srv.addSub(&serverSub{client: c, pattern: pattern, queue: queue, sid: sid})
 }
 
-func (c *serverClient) handlePub(fields []string, r *bufio.Reader) error {
+func (c *serverClient) handlePub(fields [][]byte, r *bufio.Reader) error {
 	if len(fields) != 3 {
 		c.sendErr("PUB requires <subject> <nbytes>")
 		return nil
 	}
-	subject := fields[1]
-	n, err := strconv.Atoi(fields[2])
-	if err != nil || n < 0 || n > MaxPayload {
+	// The subject slice borrows the reader's buffer, which the payload
+	// read below may refill — copy it into the client's scratch first.
+	c.subjBuf = append(c.subjBuf[:0], fields[1]...)
+	subject := c.subjBuf
+	n, ok := parseSize(fields[2])
+	if !ok {
 		c.sendErr("bad payload size")
 		return errors.New("broker: bad payload size")
 	}
@@ -310,32 +509,167 @@ func (c *serverClient) handlePub(fields []string, r *bufio.Reader) error {
 	if err := consumeCRLF(r); err != nil {
 		return err
 	}
-	if err := ValidateSubject(subject); err != nil {
-		c.sendErr(err.Error())
+	if !validSubjectBytes(subject) {
+		if err := ValidateSubject(string(subject)); err != nil {
+			c.sendErr(err.Error())
+		} else {
+			c.sendErr("invalid subject")
+		}
 		return nil
 	}
 	c.srv.route(subject, payload)
 	return nil
 }
 
-func (c *serverClient) sendMsg(subject, sid string, payload []byte) {
-	c.wmu.Lock()
-	defer c.wmu.Unlock()
-	// Failed writes surface as a read error in the client's run loop.
-	fmt.Fprintf(c.conn, "MSG %s %s %d\r\n", subject, sid, len(payload))
-	c.conn.Write(payload)
-	io.WriteString(c.conn, "\r\n")
+// sendMsg enqueues one delivery; the frame header is pooled and the
+// payload slice is shared across the whole fan-out. Reports whether the
+// frame was accepted.
+func (c *serverClient) sendMsg(subject []byte, sid string, payload []byte) bool {
+	f := outFrame{header: encodeMsgHeader(subject, sid, len(payload)), payload: payload}
+	switch c.out.enqueue(f) {
+	case enqOK:
+		return true
+	case enqClosed:
+		putHeaderBuf(f.header)
+		return false
+	default: // overflow: apply the slow-consumer policy
+		putHeaderBuf(f.header)
+		if c.srv.opts.slowPolicy == SlowConsumerDrop {
+			c.srv.stats.slowDrops.Add(1)
+			return false
+		}
+		c.srv.stats.slowDisconnects.Add(1)
+		c.out.discard()
+		c.conn.Close()
+		return false
+	}
 }
 
 func (c *serverClient) sendLine(line string) {
-	c.wmu.Lock()
-	defer c.wmu.Unlock()
-	io.WriteString(c.conn, line+"\r\n")
+	f := outFrame{header: encodeLine(line)}
+	if c.out.enqueue(f) != enqOK {
+		putHeaderBuf(f.header)
+	}
 }
 
 func (c *serverClient) sendErr(msg string) { c.sendLine("-ERR " + msg) }
 
-// readLine reads a CRLF- (or LF-) terminated line without the terminator.
+// encodeMsgHeader appends "MSG <subject> <sid> <n>\r\n" to a pooled buf.
+func encodeMsgHeader(subject []byte, sid string, n int) []byte {
+	b := getHeaderBuf()
+	b = append(b, "MSG "...)
+	b = append(b, subject...)
+	b = append(b, ' ')
+	b = append(b, sid...)
+	b = append(b, ' ')
+	b = strconv.AppendInt(b, int64(n), 10)
+	b = append(b, '\r', '\n')
+	return b
+}
+
+// readLineSlice returns the next CRLF- (or LF-) terminated line without
+// the terminator. The slice borrows the reader's buffer and is only
+// valid until the next read; over-long lines fall back to copying.
+func readLineSlice(r *bufio.Reader) ([]byte, error) {
+	line, err := r.ReadSlice('\n')
+	if err == bufio.ErrBufferFull {
+		buf := append([]byte(nil), line...)
+		for err == bufio.ErrBufferFull {
+			line, err = r.ReadSlice('\n')
+			buf = append(buf, line...)
+		}
+		line = buf
+	}
+	if err != nil {
+		return nil, err
+	}
+	line = line[:len(line)-1]
+	if len(line) > 0 && line[len(line)-1] == '\r' {
+		line = line[:len(line)-1]
+	}
+	return line, nil
+}
+
+// splitFields splits on runs of spaces and tabs without allocating.
+func splitFields(line []byte, out [][]byte) [][]byte {
+	i := 0
+	for i < len(line) {
+		for i < len(line) && (line[i] == ' ' || line[i] == '\t') {
+			i++
+		}
+		if i >= len(line) {
+			break
+		}
+		j := i
+		for j < len(line) && line[j] != ' ' && line[j] != '\t' {
+			j++
+		}
+		out = append(out, line[i:j])
+		i = j
+	}
+	return out
+}
+
+// asciiFold reports whether b equals upper (an upper-case ASCII literal)
+// ignoring case.
+func asciiFold(b []byte, upper string) bool {
+	if len(b) != len(upper) {
+		return false
+	}
+	for i := 0; i < len(b); i++ {
+		ch := b[i]
+		if 'a' <= ch && ch <= 'z' {
+			ch -= 'a' - 'A'
+		}
+		if ch != upper[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// parseSize parses a payload size in [0, MaxPayload].
+func parseSize(b []byte) (int, bool) {
+	if len(b) == 0 || len(b) > 8 {
+		return 0, false
+	}
+	n := 0
+	for _, ch := range b {
+		if ch < '0' || ch > '9' {
+			return 0, false
+		}
+		n = n*10 + int(ch-'0')
+	}
+	if n > MaxPayload {
+		return 0, false
+	}
+	return n, true
+}
+
+// validSubjectBytes is the allocation-free publish-subject check:
+// non-empty dot tokens, no wildcards. (Whitespace cannot appear — the
+// field splitter already consumed it.)
+func validSubjectBytes(b []byte) bool {
+	if len(b) == 0 {
+		return false
+	}
+	prev := byte('.')
+	for _, ch := range b {
+		switch ch {
+		case '.':
+			if prev == '.' {
+				return false
+			}
+		case '*', '>':
+			return false
+		}
+		prev = ch
+	}
+	return prev != '.'
+}
+
+// readLine reads a CRLF- (or LF-) terminated line without the
+// terminator (used by the client's reader, which owns its strings).
 func readLine(r *bufio.Reader) (string, error) {
 	line, err := r.ReadString('\n')
 	if err != nil {

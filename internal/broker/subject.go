@@ -48,13 +48,24 @@ func validateTokens(s string) error {
 	if s == "" {
 		return errors.New("broker: empty subject")
 	}
-	if strings.ContainsAny(s, " \t\r\n") {
-		return fmt.Errorf("broker: subject %q contains whitespace", s)
-	}
-	for _, tok := range strings.Split(s, ".") {
-		if tok == "" {
-			return fmt.Errorf("broker: empty token in subject %q", s)
+	// Single pass, no strings.Split: this sits on the client's
+	// per-publish path and must not allocate.
+	prev := byte('.')
+	for i := 0; i < len(s); i++ {
+		switch ch := s[i]; ch {
+		case ' ', '\t', '\r', '\n':
+			return fmt.Errorf("broker: subject %q contains whitespace", s)
+		case '.':
+			if prev == '.' {
+				return fmt.Errorf("broker: empty token in subject %q", s)
+			}
+			prev = ch
+		default:
+			prev = ch
 		}
+	}
+	if prev == '.' {
+		return fmt.Errorf("broker: empty token in subject %q", s)
 	}
 	return nil
 }

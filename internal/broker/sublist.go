@@ -1,0 +1,259 @@
+package broker
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Routing is sharded: subscriptions whose pattern starts with a literal
+// token live in exactly one shard (picked by hashing that token), and a
+// publish on subject "a.b.c" only takes the lock of shard hash("a") — so
+// publishes on disjoint subject spaces never contend. Patterns whose
+// first token is a wildcard ('*' or '>') can match any subject, so they
+// are inserted into every shard; a publish still consults exactly one.
+//
+// Inside a shard, subscriptions are stored in a subject-token trie: each
+// trie edge is one token, with '*' and '>' as ordinary edge labels. A
+// match walks the subject's tokens, following at most the literal edge
+// and the '*' edge per level, and collects '>'-terminals whenever at
+// least one token remains. On top of the trie sits a per-shard match
+// cache keyed by the concrete subject; every sub/unsub in the shard bumps
+// a generation counter, and cached entries are revalidated against it on
+// lookup, so the cache never needs explicit invalidation lists.
+
+// maxCachedSubjects caps a shard's match cache; when full, the whole map
+// is dropped (a publish-path cache rebuild is cheap and self-limiting).
+const maxCachedSubjects = 8192
+
+// shard is one routing shard: a trie, its match cache, and the rng used
+// for queue-group member picks (per-shard so picks never take a global
+// lock).
+type shard struct {
+	mu    sync.Mutex
+	root  *trieNode
+	cache map[string]*routeSet
+	gen   uint64
+	rng   *rand.Rand
+}
+
+// trieNode is one token position. Terminal subscriptions (patterns that
+// end here) are split into plain subs and queue groups; children are
+// keyed by the next token, with "*" and ">" as literal keys.
+type trieNode struct {
+	next  map[string]*trieNode
+	psubs []*serverSub
+	qsubs map[string][]*serverSub
+}
+
+func (n *trieNode) empty() bool {
+	return len(n.next) == 0 && len(n.psubs) == 0 && len(n.qsubs) == 0
+}
+
+// routeSet is the flattened match result for one concrete subject: the
+// plain subscriptions plus one member-slice per (pattern, queue) group.
+// A cached routeSet is only trusted while its gen matches the shard's.
+type routeSet struct {
+	gen    uint64
+	plain  []*serverSub
+	queues [][]*serverSub
+}
+
+func newShard(seed int64) *shard {
+	return &shard{
+		root:  &trieNode{},
+		cache: make(map[string]*routeSet),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// shardIndex maps a subject or pattern to its shard by FNV-1a over the
+// first token. Wildcard first tokens return -1, meaning "all shards".
+func shardIndex(subjectOrPattern string, n int) int {
+	tok := subjectOrPattern
+	if i := strings.IndexByte(tok, '.'); i >= 0 {
+		tok = tok[:i]
+	}
+	if tok == "*" || tok == ">" {
+		return -1
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(tok); i++ {
+		h ^= uint64(tok[i])
+		h *= prime64
+	}
+	return int(h % uint64(n))
+}
+
+// insert adds sub under its pattern. Caller holds sh.mu.
+func (sh *shard) insert(sub *serverSub) {
+	n := sh.root
+	rest := sub.pattern
+	for {
+		tok, tail, more := nextToken(rest)
+		child := n.next[tok]
+		if child == nil {
+			child = &trieNode{}
+			if n.next == nil {
+				n.next = make(map[string]*trieNode)
+			}
+			n.next[tok] = child
+		}
+		n = child
+		if !more {
+			break
+		}
+		rest = tail
+	}
+	if sub.queue == "" {
+		n.psubs = append(n.psubs, sub)
+	} else {
+		if n.qsubs == nil {
+			n.qsubs = make(map[string][]*serverSub)
+		}
+		n.qsubs[sub.queue] = append(n.qsubs[sub.queue], sub)
+	}
+	sh.gen++
+}
+
+// remove deletes sub by identity and prunes now-empty trie nodes.
+// Caller holds sh.mu. Reports whether the sub was present.
+func (sh *shard) remove(sub *serverSub) bool {
+	// Record the path so empty nodes can be pruned bottom-up.
+	type step struct {
+		node *trieNode
+		tok  string
+	}
+	var path [16]step
+	depth := 0
+	n := sh.root
+	rest := sub.pattern
+	for {
+		tok, tail, more := nextToken(rest)
+		child := n.next[tok]
+		if child == nil {
+			return false
+		}
+		if depth < len(path) {
+			path[depth] = step{n, tok}
+		}
+		depth++
+		n = child
+		if !more {
+			break
+		}
+		rest = tail
+	}
+	// Patterns deeper than the path scratch are removed but not pruned;
+	// the stranded interior nodes are harmless and reclaimed on reuse.
+	prune := depth <= len(path)
+	removed := false
+	if sub.queue == "" {
+		for i, s := range n.psubs {
+			if s == sub {
+				n.psubs[i] = n.psubs[len(n.psubs)-1]
+				n.psubs = n.psubs[:len(n.psubs)-1]
+				removed = true
+				break
+			}
+		}
+	} else if members := n.qsubs[sub.queue]; members != nil {
+		for i, s := range members {
+			if s == sub {
+				members[i] = members[len(members)-1]
+				n.qsubs[sub.queue] = members[:len(members)-1]
+				removed = true
+				break
+			}
+		}
+		if len(n.qsubs[sub.queue]) == 0 {
+			delete(n.qsubs, sub.queue)
+		}
+	}
+	if !removed {
+		return false
+	}
+	if prune {
+		for i := depth - 1; i >= 0 && n.empty(); i-- {
+			delete(path[i].node.next, path[i].tok)
+			n = path[i].node
+		}
+	}
+	sh.gen++
+	return true
+}
+
+// match returns the routeSet for subject, from cache when the generation
+// still matches, rebuilding (and re-caching) otherwise. Caller holds
+// sh.mu; the returned set is only valid while the lock is held.
+func (sh *shard) match(subject string) *routeSet {
+	if rs, ok := sh.cache[subject]; ok && rs.gen == sh.gen {
+		return rs
+	}
+	rs := &routeSet{gen: sh.gen}
+	collect(sh.root, subject, rs)
+	if len(sh.cache) >= maxCachedSubjects {
+		sh.cache = make(map[string]*routeSet)
+	}
+	sh.cache[subject] = rs
+	return rs
+}
+
+// collect walks the trie for the remaining subject tokens, appending
+// matches to rs. rest == "" means all tokens are consumed.
+func collect(n *trieNode, rest string, rs *routeSet) {
+	if fwc := n.next[">"]; fwc != nil && rest != "" {
+		// '>' matches one or more remaining tokens.
+		rs.add(fwc)
+	}
+	if rest == "" {
+		rs.add(n)
+		return
+	}
+	tok, tail, _ := nextToken(rest)
+	if c := n.next[tok]; c != nil {
+		collect(c, tail, rs)
+	}
+	if c := n.next["*"]; c != nil {
+		collect(c, tail, rs)
+	}
+}
+
+func (rs *routeSet) add(n *trieNode) {
+	if len(n.psubs) > 0 {
+		rs.plain = append(rs.plain, n.psubs...)
+	}
+	switch len(n.qsubs) {
+	case 0:
+	case 1:
+		for _, members := range n.qsubs {
+			rs.queues = append(rs.queues, members)
+		}
+	default:
+		// Iterate queue groups in sorted name order so the rng pick
+		// sequence (and thus seeded runs) is reproducible: Go map
+		// iteration order would otherwise vary run to run.
+		names := make([]string, 0, len(n.qsubs))
+		for name := range n.qsubs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			rs.queues = append(rs.queues, n.qsubs[name])
+		}
+	}
+}
+
+// nextToken splits the leading dot token off rest. more reports whether
+// a tail remains (distinguishing "a" from trailing content).
+func nextToken(rest string) (tok, tail string, more bool) {
+	if i := strings.IndexByte(rest, '.'); i >= 0 {
+		return rest[:i], rest[i+1:], true
+	}
+	return rest, "", false
+}

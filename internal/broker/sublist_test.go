@@ -1,0 +1,152 @@
+package broker
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// differential harness: a shard's trie must agree with the reference
+// Match on every (subject, pattern) pair.
+
+func shardMatchSubs(sh *shard, subject string) map[*serverSub]bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	rs := sh.matchBytes([]byte(subject))
+	got := make(map[*serverSub]bool)
+	for _, s := range rs.plain {
+		got[s] = true
+	}
+	for _, members := range rs.queues {
+		for _, s := range members {
+			got[s] = true
+		}
+	}
+	return got
+}
+
+func TestTrieMatchesReferenceMatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tokens := []string{"a", "b", "c", "uav1", "infrared", "video"}
+	randPattern := func(wild bool) string {
+		n := 1 + rng.Intn(4)
+		p := ""
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				p += "."
+			}
+			if wild && rng.Intn(4) == 0 {
+				if i == n-1 && rng.Intn(2) == 0 {
+					p += ">"
+					break
+				}
+				p += "*"
+			} else {
+				p += tokens[rng.Intn(len(tokens))]
+			}
+		}
+		return p
+	}
+
+	sh := newShard(1)
+	var subs []*serverSub
+	for i := 0; i < 200; i++ {
+		sub := &serverSub{pattern: randPattern(true), sid: fmt.Sprint(i)}
+		if ValidatePattern(sub.pattern) != nil {
+			continue
+		}
+		subs = append(subs, sub)
+		sh.mu.Lock()
+		sh.insert(sub)
+		sh.mu.Unlock()
+	}
+	check := func() {
+		for i := 0; i < 300; i++ {
+			subject := randPattern(false)
+			if ValidateSubject(subject) != nil {
+				continue
+			}
+			got := shardMatchSubs(sh, subject)
+			for _, sub := range subs {
+				want := Match(subject, sub.pattern)
+				if got[sub] != want {
+					t.Fatalf("subject %q pattern %q: trie=%v reference=%v",
+						subject, sub.pattern, got[sub], want)
+				}
+			}
+		}
+	}
+	check()
+	// Remove half and re-verify: removal and pruning must not disturb
+	// the survivors.
+	keep := subs[:0]
+	for i, sub := range subs {
+		if i%2 == 0 {
+			sh.mu.Lock()
+			if !sh.remove(sub) {
+				t.Fatalf("remove(%q) reported missing", sub.pattern)
+			}
+			sh.mu.Unlock()
+		} else {
+			keep = append(keep, sub)
+		}
+	}
+	subs = keep
+	check()
+	// Remove the rest: the trie must prune back to empty.
+	for _, sub := range subs {
+		sh.mu.Lock()
+		sh.remove(sub)
+		sh.mu.Unlock()
+	}
+	subs = nil
+	if len(sh.root.next) != 0 {
+		t.Errorf("trie not pruned to empty: %d root children", len(sh.root.next))
+	}
+	check()
+}
+
+func TestMatchCacheGeneration(t *testing.T) {
+	sh := newShard(1)
+	a := &serverSub{pattern: "x.y", sid: "1"}
+	sh.mu.Lock()
+	sh.insert(a)
+	rs1 := sh.matchBytes([]byte("x.y"))
+	if len(rs1.plain) != 1 {
+		t.Fatalf("plain = %d, want 1", len(rs1.plain))
+	}
+	// Cache hit must return the identical set while the gen is stable.
+	if rs2 := sh.matchBytes([]byte("x.y")); rs2 != rs1 {
+		t.Error("cache miss on unchanged generation")
+	}
+	// Any sub/unsub bumps the generation and invalidates the entry.
+	b := &serverSub{pattern: "x.*", sid: "2"}
+	sh.insert(b)
+	rs3 := sh.matchBytes([]byte("x.y"))
+	if rs3 == rs1 {
+		t.Error("stale cache entry served after insert")
+	}
+	if len(rs3.plain) != 2 {
+		t.Errorf("plain = %d after wildcard insert, want 2", len(rs3.plain))
+	}
+	sh.remove(a)
+	if rs4 := sh.matchBytes([]byte("x.y")); len(rs4.plain) != 1 {
+		t.Errorf("plain = %d after remove, want 1", len(rs4.plain))
+	}
+	sh.mu.Unlock()
+}
+
+func TestShardIndexRouting(t *testing.T) {
+	const n = 8
+	// A subject and a pattern sharing a first literal token must land on
+	// the same shard; wildcard-first patterns go everywhere.
+	if shardIndex("sensors.uav1.infrared", n) != shardIndexBytes([]byte("sensors.x"), n) {
+		t.Error("subject and pattern with same first token map to different shards")
+	}
+	if shardIndex("*.uav1", n) != -1 || shardIndex(">", n) != -1 {
+		t.Error("wildcard-first pattern should map to all shards (-1)")
+	}
+	if got := shardIndex("sensors", n); got < 0 || got >= n {
+		t.Errorf("shard index %d out of range", got)
+	}
+}
