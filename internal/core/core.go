@@ -24,6 +24,7 @@ import (
 	"adamant/internal/netem"
 	"adamant/internal/probe"
 	"adamant/internal/transport"
+	"adamant/internal/transport/fountcast"
 	"adamant/internal/transport/nakcast"
 	"adamant/internal/transport/ricochet"
 )
@@ -64,6 +65,7 @@ var (
 		nakcast.Spec(1 * time.Millisecond),
 		ricochet.Spec(4, 3),
 		ricochet.Spec(8, 3),
+		fountcast.Spec(fountcast.DefaultK, fountcast.DefaultOverheadPct),
 	}
 	candidateIndex = func() map[string]int {
 		m := make(map[string]int, len(candidates))
@@ -75,14 +77,16 @@ var (
 )
 
 // Candidates is the protocol configuration space ADAMANT selects from —
-// the same six configurations the paper's experiments sweep: NAKcast with
-// 50/25/10/1 ms NAK timeouts and Ricochet with R=4,C=3 and R=8,C=3.
+// the six configurations the paper's experiments sweep (NAKcast with
+// 50/25/10/1 ms NAK timeouts, Ricochet with R=4,C=3 and R=8,C=3) plus the
+// rateless fountain code at its default K=8 block and 25% repair budget.
+// New candidates are appended so trained-model indices stay stable.
 func Candidates() []transport.Spec {
 	return append([]transport.Spec(nil), candidates...)
 }
 
 // NumCandidates is the size of the selection space (the ANN output width).
-const NumCandidates = 6
+const NumCandidates = 7
 
 // CandidateIndex returns the index of spec within Candidates. The common
 // case — spec structurally equal to a candidate — is an allocation-free
@@ -124,14 +128,19 @@ type Features struct {
 	Receivers     int
 	RateHz        float64
 	Metric        Metric
+	// OverheadPct is the proactive-FEC bandwidth budget the application
+	// grants (percent of source bytes spendable on repair traffic); it is
+	// what makes the fountain-coded candidate comparable at a fixed cost.
+	OverheadPct float64
 }
 
 // NumInputs is the ANN input width produced by Vector.
-const NumInputs = 9
+const NumInputs = 10
 
 // Vector encodes the features as normalized ANN inputs in [0, ~1.2]:
 // CPU MHz (/3000), log10 bandwidth (/3 from Mbps), one-hot implementation,
-// loss (/5), receivers (/15), rate (/100), one-hot metric.
+// loss (/5), receivers (/15), rate (/100), one-hot metric, FEC overhead
+// budget (/100).
 func (f Features) Vector() []float64 {
 	return f.AppendVector(make([]float64, 0, NumInputs))
 }
@@ -160,14 +169,16 @@ func (f Features) AppendVector(dst []float64) []float64 {
 	} else {
 		v[8] = 1
 	}
+	v[9] = f.OverheadPct / 100
 	return dst
 }
 
 // Key returns a canonical string identity for exact-match lookup (the
 // TableSelector / manual-configuration baseline).
 func (f Features) Key() string {
-	return fmt.Sprintf("%gMHz|%gMbps|%s|%g%%|%d|%gHz|%s",
-		f.MachineMHz, f.BandwidthMbps, f.Impl, f.LossPct, f.Receivers, f.RateHz, f.Metric)
+	return fmt.Sprintf("%gMHz|%gMbps|%s|%g%%|%d|%gHz|%s|oh%g",
+		f.MachineMHz, f.BandwidthMbps, f.Impl, f.LossPct, f.Receivers, f.RateHz, f.Metric,
+		f.OverheadPct)
 }
 
 // String implements fmt.Stringer.
@@ -283,6 +294,18 @@ type AppParams struct {
 	LossPct   float64 // expected end-host loss (e.g. from the cloud SLA)
 	Impl      dds.Impl
 	Metric    Metric
+	// OverheadPct is the proactive-FEC bandwidth budget in percent;
+	// 0 means the default fountain-code budget.
+	OverheadPct float64
+}
+
+// overheadOrDefault maps an unset (zero) overhead budget to the fountain
+// code's default repair rate so existing callers keep a sensible feature.
+func overheadOrDefault(oh float64) float64 {
+	if oh <= 0 {
+		return fountcast.DefaultOverheadPct
+	}
+	return oh
 }
 
 // Controller is the ADAMANT startup configurator.
@@ -337,6 +360,7 @@ func (c *Controller) Decide() (Decision, error) {
 		Receivers:     c.params.Receivers,
 		RateHz:        c.params.RateHz,
 		Metric:        c.params.Metric,
+		OverheadPct:   overheadOrDefault(c.params.OverheadPct),
 	}
 	t1 := time.Now()
 	spec, err := c.selector.Select(d.Features)
@@ -361,5 +385,6 @@ func FeaturesFor(m netem.Machine, bw netem.Bandwidth, impl dds.Impl,
 		Receivers:     receivers,
 		RateHz:        rateHz,
 		Metric:        metric,
+		OverheadPct:   overheadOrDefault(0),
 	}
 }

@@ -22,6 +22,7 @@ func TestCandidates(t *testing.T) {
 		"nakcast(timeout=50ms)", "nakcast(timeout=25ms)",
 		"nakcast(timeout=10ms)", "nakcast(timeout=1ms)",
 		"ricochet(c=3,r=4)", "ricochet(c=3,r=8)",
+		"fountcast(k=8,oh=25)",
 	}
 	for i, c := range cands {
 		if c.String() != want[i] {
@@ -57,6 +58,9 @@ func TestFeaturesVector(t *testing.T) {
 	}
 	if v[7] != 1 || v[8] != 0 {
 		t.Errorf("metric one-hot = %v %v", v[7], v[8])
+	}
+	if v[9] != 0.25 { // default 25% FEC budget
+		t.Errorf("overhead input = %v", v[9])
 	}
 	g := core.FeaturesFor(netem.PC850, netem.Mbps10, dds.ImplB, 1, 3, 10, core.MetricReLate2Jit)
 	w := g.Vector()

@@ -184,9 +184,9 @@ func ToANNDataset(rows []Row) *ann.Dataset {
 // csvHeader is the dataset CSV schema.
 var csvHeader = []string{
 	"machine_mhz", "bandwidth_mbps", "impl", "loss_pct", "receivers", "rate_hz",
-	"metric", "winner",
+	"overhead_pct", "metric", "winner",
 	"score_nakcast50ms", "score_nakcast25ms", "score_nakcast10ms", "score_nakcast1ms",
-	"score_ricochet_r4c3", "score_ricochet_r8c3",
+	"score_ricochet_r4c3", "score_ricochet_r8c3", "score_fountcast_k8oh25",
 }
 
 // WriteCSV writes rows in the documented schema.
@@ -203,6 +203,7 @@ func WriteCSV(w io.Writer, rows []Row) error {
 			strconv.FormatFloat(r.Features.LossPct, 'g', -1, 64),
 			strconv.Itoa(r.Features.Receivers),
 			strconv.FormatFloat(r.Features.RateHz, 'g', -1, 64),
+			strconv.FormatFloat(r.Features.OverheadPct, 'g', -1, 64),
 			r.Features.Metric.String(),
 			strconv.Itoa(r.Winner),
 		}
@@ -233,7 +234,7 @@ func ReadCSV(r io.Reader) ([]Row, error) {
 	}
 	var rows []Row
 	for i, rec := range records[1:] {
-		if len(rec) < 8 {
+		if len(rec) < 9 {
 			return nil, fmt.Errorf("experiment: CSV row %d has %d fields", i+2, len(rec))
 		}
 		var row Row
@@ -256,21 +257,24 @@ func ReadCSV(r io.Reader) ([]Row, error) {
 		if row.Features.RateHz, err = strconv.ParseFloat(rec[5], 64); err != nil {
 			return nil, fmt.Errorf("experiment: CSV row %d rate: %w", i+2, err)
 		}
-		switch rec[6] {
+		if row.Features.OverheadPct, err = strconv.ParseFloat(rec[6], 64); err != nil {
+			return nil, fmt.Errorf("experiment: CSV row %d overhead: %w", i+2, err)
+		}
+		switch rec[7] {
 		case core.MetricReLate2.String():
 			row.Features.Metric = core.MetricReLate2
 		case core.MetricReLate2Jit.String():
 			row.Features.Metric = core.MetricReLate2Jit
 		default:
-			return nil, fmt.Errorf("experiment: CSV row %d unknown metric %q", i+2, rec[6])
+			return nil, fmt.Errorf("experiment: CSV row %d unknown metric %q", i+2, rec[7])
 		}
-		if row.Winner, err = strconv.Atoi(rec[7]); err != nil {
+		if row.Winner, err = strconv.Atoi(rec[8]); err != nil {
 			return nil, fmt.Errorf("experiment: CSV row %d winner: %w", i+2, err)
 		}
 		if row.Winner < 0 || row.Winner >= core.NumCandidates {
 			return nil, fmt.Errorf("experiment: CSV row %d winner %d out of range", i+2, row.Winner)
 		}
-		for _, f := range rec[8:] {
+		for _, f := range rec[9:] {
 			if f == "" {
 				continue
 			}

@@ -30,8 +30,15 @@ type Config struct {
 	Bandwidth netem.Bandwidth
 	Impl      dds.Impl
 	LossPct   float64
-	Receivers int
-	RateHz    float64
+	// BurstPGB/BurstPBG/BurstDropBad, when BurstPGB > 0, enable the
+	// Gilbert-Elliott two-state bursty loss model on every reader node in
+	// addition to the uniform LossPct: per-packet good->bad and bad->good
+	// transition probabilities and the drop probability in the bad state.
+	BurstPGB     float64
+	BurstPBG     float64
+	BurstDropBad float64
+	Receivers    int
+	RateHz       float64
 	// Samples is the number of data samples the writer publishes. The
 	// paper sends 20000 per run; smaller counts preserve the metric
 	// shape and run proportionally faster.
@@ -87,6 +94,14 @@ func (c Config) Validate() error {
 	if c.LossPct < 0 || c.LossPct > 100 {
 		return fmt.Errorf("experiment: loss %v%% out of range", c.LossPct)
 	}
+	if c.BurstPGB < 0 || c.BurstPGB > 1 || c.BurstPBG < 0 || c.BurstPBG > 1 ||
+		c.BurstDropBad < 0 || c.BurstDropBad > 1 {
+		return fmt.Errorf("experiment: burst-loss probabilities (%v,%v,%v) out of [0,1]",
+			c.BurstPGB, c.BurstPBG, c.BurstDropBad)
+	}
+	if c.BurstPGB > 0 && c.BurstPBG == 0 {
+		return errors.New("experiment: burst loss needs a bad->good transition probability")
+	}
 	if c.Samples < 1 {
 		return errors.New("experiment: need at least one sample")
 	}
@@ -100,6 +115,9 @@ func (c Config) Validate() error {
 func (c Config) String() string {
 	s := fmt.Sprintf("%s/%s/%s loss=%g%% rcv=%d rate=%gHz proto=%s",
 		c.Machine.Name, c.Bandwidth, c.Impl, c.LossPct, c.Receivers, c.RateHz, c.Protocol)
+	if c.BurstPGB > 0 {
+		s += fmt.Sprintf(" ge=%g/%g/%g", c.BurstPGB, c.BurstPBG, c.BurstDropBad)
+	}
 	if c.Shards > 0 {
 		s += fmt.Sprintf(" shards=%d", c.Shards)
 	}
@@ -180,6 +198,9 @@ func RunDetailed(cfg Config) (metrics.Summary, NetReport, error) {
 	for i := range readerNodes {
 		readerNodes[i] = network.AddNode(cfg.Machine)
 		readerNodes[i].SetLoss(cfg.LossPct)
+		if cfg.BurstPGB > 0 {
+			readerNodes[i].SetBurstLoss(cfg.BurstPGB, cfg.BurstPBG, cfg.BurstDropBad)
+		}
 		readerIDs[i] = readerNodes[i].Local()
 	}
 	receivers := transport.StaticReceivers(readerIDs...)

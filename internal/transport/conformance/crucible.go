@@ -661,6 +661,7 @@ func DefaultCrucibleSpecs() []transport.Spec {
 		mustSpec("nakcast(timeout=5ms)"),
 		mustSpec("ackcast(window=64,rto=20ms)"),
 		mustSpec("ricochet(c=3,r=4)"),
+		mustSpec("fountcast(k=8,oh=25)"),
 	}
 }
 
@@ -684,7 +685,11 @@ func SwitchTargetFor(spec transport.Spec) transport.Spec {
 		return mustSpec("ackcast(window=64,rto=20ms)")
 	case "ackcast":
 		return mustSpec("ricochet(c=3,r=4)")
-	default: // ricochet and anything unregistered here
+	case "ricochet":
+		// Reactive-FEC to proactive-FEC handoff: both generations repair
+		// without sender feedback, but across different wire types.
+		return mustSpec("fountcast(k=8,oh=25)")
+	default: // fountcast and anything unregistered here
 		return mustSpec("nakcast(timeout=5ms)")
 	}
 }

@@ -1,0 +1,809 @@
+// This file is the transport built on the codec in code.go: the Fountcast
+// sender symbolizes the stream into K-packet source blocks and multicasts
+// repair symbols at a configured overhead rate; the receiver decodes each
+// block by incremental Gaussian elimination and delivers in order.
+//
+// Where NAKcast pays a timeout plus a round trip for every loss and
+// Ricochet's fixed XOR panels collapse when a burst takes out more than one
+// packet per panel, Fountcast recovers any loss pattern up to the repair
+// budget with zero feedback: every repair symbol is useful against every
+// loss in its block. The cost is a fixed, tunable bandwidth overhead that
+// is spent whether or not losses occur — which is exactly the trade the
+// adaptation layer is there to arbitrate.
+package fountcast
+
+import (
+	"fmt"
+	"math/bits"
+	"strconv"
+	"time"
+
+	"adamant/internal/env"
+	"adamant/internal/transport"
+	"adamant/internal/wire"
+)
+
+// Name is the protocol's registry/spec name.
+const Name = "fountcast"
+
+// Props advertises Fountcast's transport properties: multicast FEC with
+// in-order delivery, best-effort class (no feedback channel, so no
+// convergence guarantee after arbitrarily long faults).
+const Props = transport.PropMulticast | transport.PropFEC | transport.PropOrdered
+
+// Defaults for Options fields left zero.
+const (
+	DefaultK           = 8
+	DefaultOverheadPct = 25
+	DefaultHBInterval  = 100 * time.Millisecond
+	// DefaultProcCost models the reference-machine CPU time the receiver
+	// spends per delivered packet on sequencing bookkeeping.
+	DefaultProcCost = 50 * time.Microsecond
+	// DefaultHold is how long a receiver keeps an undecodable block open
+	// after learning the sender has moved past it, waiting for straggler
+	// symbols, before abandoning its missing packets. There is no NAK to
+	// retry, so this is the whole tail of the recovery latency
+	// distribution: decode either happens as symbols arrive or never.
+	DefaultHold = 40 * time.Millisecond
+
+	// MaxOverheadPct bounds the configured overhead rate: 400% means four
+	// repair symbols per source packet, far past any useful operating
+	// point but room enough for stress experiments.
+	MaxOverheadPct = 400
+
+	// symbolBuildWork is the sender CPU cost of folding one repair symbol.
+	symbolBuildWork = 40 * time.Microsecond
+	// decodeWork is the receiver CPU cost of reducing one repair symbol
+	// into the block's elimination state.
+	decodeWork = 60 * time.Microsecond
+
+	// maxOpenBlocks bounds the receiver's per-block state map so a hostile
+	// sequence jump cannot balloon it; blocks beyond the cap are counted
+	// OutOfWindow and recovered only by the abandon path.
+	maxOpenBlocks = 1 << 12
+)
+
+// Options are Fountcast's tunables.
+type Options struct {
+	// K is the source-block size in packets (1..MaxBlock). Larger blocks
+	// spread the repair budget across more loss patterns but delay tail
+	// decode until the block completes.
+	K int
+	// OverheadPct is the repair budget as a percentage of source packets:
+	// 25 means one repair symbol per four source packets on average
+	// (fractional credit carries across blocks). 0 disables repair
+	// entirely, degenerating into ordered best-effort multicast.
+	OverheadPct int
+	// HBInterval is the sender heartbeat period used for tail-gap
+	// detection.
+	HBInterval time.Duration
+	// ProcCost is the per-delivery receiver processing cost at
+	// reference-machine speed.
+	ProcCost time.Duration
+	// Hold is the straggler window before an undecodable closed block's
+	// missing packets are abandoned.
+	Hold time.Duration
+}
+
+func (o *Options) fillDefaults() {
+	if o.K <= 0 {
+		o.K = DefaultK
+	}
+	if o.OverheadPct < 0 {
+		o.OverheadPct = DefaultOverheadPct
+	}
+	if o.HBInterval <= 0 {
+		o.HBInterval = DefaultHBInterval
+	}
+	if o.ProcCost == 0 {
+		o.ProcCost = DefaultProcCost
+	}
+	if o.Hold <= 0 {
+		o.Hold = DefaultHold
+	}
+}
+
+// Spec returns the canonical transport.Spec for a (K, overhead%) point,
+// e.g. Spec(8, 25) == "fountcast(k=8,oh=25)".
+func Spec(k, overheadPct int) transport.Spec {
+	return transport.Spec{Name: Name, Params: transport.Params{
+		"k":  strconv.Itoa(k),
+		"oh": strconv.Itoa(overheadPct),
+	}}
+}
+
+// ParseOptions extracts Options from spec params.
+func ParseOptions(p transport.Params) (Options, error) {
+	var o Options
+	var err error
+	if o.K, err = p.Int("k", DefaultK); err != nil {
+		return o, err
+	}
+	if o.OverheadPct, err = p.Int("oh", DefaultOverheadPct); err != nil {
+		return o, err
+	}
+	if o.HBInterval, err = p.Duration("hb", DefaultHBInterval); err != nil {
+		return o, err
+	}
+	if o.ProcCost, err = p.Duration("proc", DefaultProcCost); err != nil {
+		return o, err
+	}
+	if o.Hold, err = p.Duration("hold", DefaultHold); err != nil {
+		return o, err
+	}
+	if o.K < 1 || o.K > MaxBlock {
+		return o, fmt.Errorf("fountcast: k=%d outside 1..%d", o.K, MaxBlock)
+	}
+	if o.OverheadPct < 0 || o.OverheadPct > MaxOverheadPct {
+		return o, fmt.Errorf("fountcast: oh=%d outside 0..%d", o.OverheadPct, MaxOverheadPct)
+	}
+	if o.HBInterval <= 0 || o.Hold <= 0 {
+		return o, fmt.Errorf("fountcast: non-positive interval in %+v", o)
+	}
+	return o, nil
+}
+
+// Factory returns the registry factory for Fountcast.
+func Factory() *transport.Factory {
+	return &transport.Factory{
+		Name:  Name,
+		Props: Props,
+		NewSender: func(cfg transport.Config, params transport.Params) (transport.Sender, error) {
+			o, err := ParseOptions(params)
+			if err != nil {
+				return nil, err
+			}
+			return NewSender(cfg, o)
+		},
+		NewReceiver: func(cfg transport.Config, params transport.Params) (transport.Receiver, error) {
+			o, err := ParseOptions(params)
+			if err != nil {
+				return nil, err
+			}
+			return NewReceiver(cfg, o)
+		},
+	}
+}
+
+// blockSeedFor derives a block's coefficient seed as a pure function of the
+// stream, the writer, and the block index. The seed also travels in every
+// symbol body, so receivers never need to compute this — but a
+// deterministic derivation (rather than a sender-side RNG) keeps the whole
+// protocol replayable from its configuration alone.
+func blockSeedFor(stream wire.StreamID, src wire.NodeID, block uint64) uint64 {
+	x := uint64(stream)<<40 ^ uint64(src)<<24 ^ block
+	x ^= 0xA5A5F00DD00DF7A3
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Sender is the writer-side Fountcast instance.
+type Sender struct {
+	cfg  transport.Config
+	opts Options
+	seq  uint64
+
+	// cur accumulates the in-progress source block; payloads are arena
+	// copies that stay valid until the block's repairs are folded.
+	cur []Source
+	// credits is the fractional repair budget carried across blocks, in
+	// percent-packets: each flushed block adds count*OverheadPct and each
+	// emitted repair spends 100.
+	credits int
+
+	arena  transport.Arena
+	hbTmr  env.Timer
+	closed bool
+}
+
+var _ transport.Sender = (*Sender)(nil)
+
+// NewSender builds a Fountcast sender on cfg.Endpoint.
+func NewSender(cfg transport.Config, opts Options) (*Sender, error) {
+	if err := cfg.ValidateSender(); err != nil {
+		return nil, err
+	}
+	opts.fillDefaults()
+	s := &Sender{
+		cfg:  cfg,
+		opts: opts,
+		seq:  cfg.BaseSeq,
+		cur:  make([]Source, 0, opts.K),
+	}
+	s.hbTmr = cfg.Env.After(opts.HBInterval, s.heartbeat)
+	return s, nil
+}
+
+// Publish implements transport.Sender: multicast the sample as ordinary
+// data (the code is systematic — source packets are source symbols), and
+// flush the block's repair symbols when it fills.
+func (s *Sender) Publish(payload []byte) error {
+	if s.closed {
+		return transport.ErrClosed
+	}
+	s.seq++
+	now := s.cfg.Env.Now()
+	cp := s.arena.Copy(payload)
+	pkt := &wire.Packet{
+		Type:    wire.TypeData,
+		Src:     s.cfg.Endpoint.Local(),
+		Stream:  s.cfg.Stream,
+		Seq:     s.seq,
+		SentAt:  now,
+		Payload: cp,
+	}
+	err := s.cfg.Endpoint.Multicast(pkt)
+	s.cur = append(s.cur, Source{SentAt: uint64(now.UnixNano()), Payload: cp})
+	if len(s.cur) == s.opts.K {
+		s.flushBlock(false)
+	}
+	return err
+}
+
+// Seq implements transport.Sender.
+func (s *Sender) Seq() uint64 { return s.seq }
+
+// Close implements transport.Sender: flush the final (possibly partial)
+// block's repairs, then announce EOS so receivers can close tail blocks.
+func (s *Sender) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.hbTmr != nil {
+		s.hbTmr.Stop()
+	}
+	s.flushBlock(true)
+	s.sendHeartbeat(wire.FlagEOS)
+	return nil
+}
+
+// flushBlock emits the current block's repair symbols and resets the block.
+// The repair count comes from the integer credit accumulator, so the
+// long-run symbol rate is exactly OverheadPct/100 per source packet with no
+// floating point. A final partial block gets at least one repair when any
+// overhead is configured at all: the stream tail is where feedback-free
+// protocols are weakest, and one symbol there is cheap insurance.
+func (s *Sender) flushBlock(final bool) {
+	n := len(s.cur)
+	if n == 0 {
+		return
+	}
+	idx := (s.seq - s.cfg.BaseSeq - 1) / uint64(s.opts.K)
+	seed := blockSeedFor(s.cfg.Stream, s.cfg.Endpoint.Local(), idx)
+	s.credits += n * s.opts.OverheadPct
+	nRep := s.credits / 100
+	s.credits %= 100
+	if final && nRep == 0 && s.opts.OverheadPct > 0 {
+		nRep, s.credits = 1, 0
+	}
+	now := s.cfg.Env.Now()
+	for id := 1; id <= nRep; id++ {
+		s.cfg.Endpoint.Work(symbolBuildWork)
+		sym := MakeRepair(s.cur, seed, uint32(id))
+		body, err := (&wire.SymbolBody{
+			Block:      idx,
+			Count:      uint16(n),
+			SymbolID:   uint32(id),
+			Seed:       seed,
+			XORSentAt:  sym.SentAt,
+			XORLen:     sym.Len,
+			XORPayload: sym.Data,
+		}).Encode(nil)
+		if err != nil {
+			break
+		}
+		pkt := &wire.Packet{
+			Type:   wire.TypeSymbol,
+			Src:    s.cfg.Endpoint.Local(),
+			Stream: s.cfg.Stream,
+			// The header seq is the block's highest source seq, so a
+			// symbol arriving ahead of (or instead of) its data packets
+			// still advances the receiver's gap detection.
+			Seq:     s.seq,
+			SentAt:  now,
+			Payload: body,
+		}
+		// A failed repair send costs redundancy, not correctness.
+		_ = s.cfg.Endpoint.Multicast(pkt)
+	}
+	s.cur = s.cur[:0]
+}
+
+func (s *Sender) heartbeat() {
+	if s.closed {
+		return
+	}
+	s.sendHeartbeat(0)
+	s.hbTmr = s.cfg.Env.After(s.opts.HBInterval, s.heartbeat)
+}
+
+func (s *Sender) sendHeartbeat(flags uint8) {
+	body, err := (&wire.HeartbeatBody{HighSeq: s.seq}).Encode(nil)
+	if err != nil {
+		return
+	}
+	pkt := &wire.Packet{
+		Type:    wire.TypeHeartbeat,
+		Flags:   flags,
+		Src:     s.cfg.Endpoint.Local(),
+		Stream:  s.cfg.Stream,
+		Seq:     s.seq,
+		SentAt:  s.cfg.Env.Now(),
+		Payload: body,
+	}
+	_ = s.cfg.Endpoint.Multicast(pkt)
+}
+
+// Receiver is the reader-side Fountcast instance.
+type Receiver struct {
+	cfg  transport.Config
+	opts Options
+	mux  *transport.Mux
+
+	nextDeliver uint64 // next seq to deliver in order (BaseSeq+1-based)
+	maxSeen     uint64
+	blocks      map[uint64]*blockState
+	abandoned   map[uint64]bool
+	eos         bool
+	eosHigh     uint64
+
+	// held counts stored-but-undelivered packet entries and rows counts
+	// buffered repair equations, together the recovery state reported to
+	// ReceiverStats.NoteBuffered.
+	held int
+	rows int
+
+	arena   transport.Arena
+	holdTmr env.Timer
+	emitq   transport.EmitQueue
+	stats   transport.ReceiverStats
+	closed  bool
+}
+
+// blockState is one source block's receive state. entries is indexed by
+// position within the block; have/recovered/delivered are position bitmasks.
+type blockState struct {
+	lo         uint64 // first source seq of the block
+	count      int    // source packets in the block
+	countKnown bool   // count pinned by a symbol body or the EOS high seq
+	have       uint64 // positions stored (direct or recovered)
+	recovered  uint64 // of have, positions reconstructed by decode
+	entries    []blockEntry
+	dec        *Decoder // built lazily on the first repair symbol
+	decRows    int      // repair equations accepted into dec
+	due        time.Time
+	gaveUp     bool
+}
+
+type blockEntry struct {
+	sentAt  time.Time
+	payload []byte
+}
+
+// done reports whether every source packet of the block is stored.
+func (b *blockState) done() bool {
+	return bits.OnesCount64(b.have&loMask(b.count)) == b.count
+}
+
+func (b *blockState) hi() uint64 { return b.lo + uint64(b.count) - 1 }
+
+func loMask(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(n)) - 1
+}
+
+var _ transport.Receiver = (*Receiver)(nil)
+
+// NewReceiver builds a Fountcast receiver on cfg.Endpoint.
+func NewReceiver(cfg transport.Config, opts Options) (*Receiver, error) {
+	if err := cfg.ValidateReceiver(); err != nil {
+		return nil, err
+	}
+	opts.fillDefaults()
+	r := &Receiver{
+		cfg:         cfg,
+		opts:        opts,
+		mux:         transport.NewMux(cfg.Endpoint),
+		nextDeliver: cfg.BaseSeq + 1,
+		maxSeen:     cfg.BaseSeq,
+		blocks:      make(map[uint64]*blockState),
+		abandoned:   make(map[uint64]bool),
+	}
+	r.emitq = transport.NewEmitQueue(cfg.Env, cfg.Deliver, &r.closed)
+	r.mux.Handle(wire.TypeData, r.onData)
+	r.mux.Handle(wire.TypeSymbol, r.onSymbol)
+	r.mux.Handle(wire.TypeHeartbeat, r.onHeartbeat)
+	return r, nil
+}
+
+// Stats implements transport.Receiver.
+func (r *Receiver) Stats() transport.ReceiverStats { return r.stats }
+
+// Close implements transport.Receiver.
+func (r *Receiver) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	if r.holdTmr != nil {
+		r.holdTmr.Stop()
+	}
+	return nil
+}
+
+func (r *Receiver) blockIdx(seq uint64) uint64 {
+	return (seq - r.cfg.BaseSeq - 1) / uint64(r.opts.K)
+}
+
+func (r *Receiver) posOf(seq uint64) int {
+	return int((seq - r.cfg.BaseSeq - 1) % uint64(r.opts.K))
+}
+
+// block returns the state record for block idx, creating it if absent. It
+// returns nil at the open-block cap.
+func (r *Receiver) block(idx uint64) *blockState {
+	if b, ok := r.blocks[idx]; ok {
+		return b
+	}
+	if len(r.blocks) >= maxOpenBlocks {
+		return nil
+	}
+	b := &blockState{
+		lo:      r.cfg.BaseSeq + idx*uint64(r.opts.K) + 1,
+		count:   r.opts.K,
+		entries: make([]blockEntry, r.opts.K),
+	}
+	r.shrinkToEOS(b)
+	r.blocks[idx] = b
+	return b
+}
+
+// shrinkToEOS pins the tail block's true count once the stream end is
+// known: the final block covers only the seqs up to the EOS high seq.
+func (r *Receiver) shrinkToEOS(b *blockState) {
+	if !r.eos || b.countKnown {
+		return
+	}
+	if r.eosHigh >= b.hi() || r.eosHigh < b.lo {
+		return
+	}
+	b.count = int(r.eosHigh - b.lo + 1)
+	b.countKnown = true
+}
+
+func (r *Receiver) onData(src wire.NodeID, pkt *wire.Packet) {
+	if r.closed || pkt.Stream != r.cfg.Stream {
+		return
+	}
+	seq := pkt.Seq
+	if seq <= r.cfg.BaseSeq {
+		return // below this instance's sequence space (covers bogus seq 0)
+	}
+	if seq < r.nextDeliver || r.abandoned[seq] {
+		r.stats.Duplicates++
+		return
+	}
+	b := r.block(r.blockIdx(seq))
+	if b == nil {
+		r.stats.OutOfWindow++
+		return
+	}
+	p := r.posOf(seq)
+	if p >= b.count {
+		r.stats.OutOfWindow++ // beyond a pinned tail block: no such sample
+		return
+	}
+	if b.have&(1<<uint(p)) != 0 {
+		r.stats.Duplicates++
+		return
+	}
+	b.entries[p] = blockEntry{sentAt: pkt.SentAt, payload: r.arena.Copy(pkt.Payload)}
+	b.have |= 1 << uint(p)
+	r.held++
+	if b.dec != nil && !b.gaveUp {
+		r.feedDirect(b, p)
+		r.tryDecode(b)
+	}
+	r.noteHigh(seq)
+	r.drain()
+	r.noteBuffered()
+}
+
+// feedDirect offers a stored direct packet to the block's decoder as its
+// singleton equation. The decoder XOR-folds in place, so it gets a copy.
+func (r *Receiver) feedDirect(b *blockState, p int) {
+	e := b.entries[p]
+	b.dec.Add(Symbol{
+		Mask:   1 << uint(p),
+		SentAt: uint64(e.sentAt.UnixNano()),
+		Len:    uint16(len(e.payload)),
+		Data:   append([]byte(nil), e.payload...),
+	})
+}
+
+func (r *Receiver) onSymbol(src wire.NodeID, pkt *wire.Packet) {
+	if r.closed || pkt.Stream != r.cfg.Stream {
+		return
+	}
+	sb, err := wire.DecodeSymbol(pkt.Payload)
+	if err != nil {
+		return
+	}
+	count := int(sb.Count)
+	if count > r.opts.K {
+		return // block bigger than this spec's K: wrong config or corrupt
+	}
+	b := r.block(sb.Block)
+	if b == nil {
+		r.stats.OutOfWindow++
+		return
+	}
+	r.noteHigh(pkt.Seq)
+	if b.gaveUp || b.done() {
+		r.drain()
+		return // late or redundant: nothing left to recover
+	}
+	if !b.countKnown {
+		if count < b.count {
+			b.count = count
+		}
+		b.countKnown = true
+	} else if count != b.count {
+		return // disagrees with the pinned count: corrupt
+	}
+	if b.dec == nil {
+		dec, err := NewDecoder(b.count)
+		if err != nil {
+			return
+		}
+		b.dec = dec
+		for p := 0; p < b.count; p++ {
+			if b.have&(1<<uint(p)) != 0 {
+				r.feedDirect(b, p)
+			}
+		}
+	}
+	r.cfg.Endpoint.Work(decodeWork)
+	sym := Symbol{
+		Mask:   Coefficients(sb.Seed, sb.SymbolID, b.count),
+		SentAt: sb.XORSentAt,
+		Len:    sb.XORLen,
+		Data:   append([]byte(nil), sb.XORPayload...),
+	}
+	if b.dec.Add(sym) {
+		b.decRows++
+		r.rows++
+	}
+	r.tryDecode(b)
+	r.drain()
+	r.noteBuffered()
+}
+
+// tryDecode solves the block if the decoder has reached full rank, storing
+// every missing packet as recovered.
+func (r *Receiver) tryDecode(b *blockState) {
+	if b.dec == nil || !b.dec.Complete() {
+		return
+	}
+	out, err := b.dec.Decode()
+	r.rows -= b.decRows
+	b.decRows = 0
+	b.dec = nil
+	if err != nil {
+		// Inconsistent symbol set (corruption): leave the block to the
+		// abandon path.
+		return
+	}
+	for p := 0; p < b.count; p++ {
+		if b.have&(1<<uint(p)) != 0 {
+			continue
+		}
+		b.entries[p] = blockEntry{
+			sentAt:  time.Unix(0, int64(out[p].SentAt)),
+			payload: out[p].Payload,
+		}
+		b.have |= 1 << uint(p)
+		b.recovered |= 1 << uint(p)
+		r.held++
+	}
+}
+
+func (r *Receiver) onHeartbeat(src wire.NodeID, pkt *wire.Packet) {
+	if r.closed || pkt.Stream != r.cfg.Stream {
+		return
+	}
+	hb, err := wire.DecodeHeartbeat(pkt.Payload)
+	if err != nil {
+		return
+	}
+	if pkt.Flags&wire.FlagEOS != 0 {
+		r.eos = true
+		r.eosHigh = hb.HighSeq
+		for _, b := range r.blocks {
+			r.shrinkToEOS(b)
+		}
+	}
+	r.noteHigh(hb.HighSeq)
+	r.closeBlocks() // EOS closes blocks even when the high seq is stale
+	r.drain()
+	r.noteBuffered()
+}
+
+// noteHigh records a new high watermark and re-evaluates block closure.
+func (r *Receiver) noteHigh(seq uint64) {
+	if seq <= r.maxSeen {
+		return
+	}
+	r.maxSeen = seq
+	r.closeBlocks()
+}
+
+// closeBlocks materializes records for every block between the delivery
+// cursor and the high watermark (so wholly-lost blocks get an abandon
+// deadline too) and arms the straggler deadline on each closed, incomplete
+// block. A block is closed once the sender has demonstrably moved past it
+// — a higher seq was seen — or the stream has ended.
+func (r *Receiver) closeBlocks() {
+	if r.maxSeen <= r.cfg.BaseSeq {
+		return
+	}
+	loIdx := r.blockIdx(r.nextDeliver)
+	if r.nextDeliver > r.maxSeen {
+		loIdx = r.blockIdx(r.maxSeen)
+	}
+	for idx := r.blockIdx(r.maxSeen); ; idx-- {
+		if r.block(idx) == nil {
+			break // at the cap; the newest blocks win
+		}
+		if idx == loIdx || idx == 0 {
+			break
+		}
+	}
+	now := r.cfg.Env.Now()
+	arm := false
+	for _, b := range r.blocks {
+		if !b.due.IsZero() || b.gaveUp || b.done() {
+			continue
+		}
+		if r.maxSeen > b.hi() || r.eos {
+			b.due = now.Add(r.opts.Hold)
+			arm = true
+		}
+	}
+	if arm {
+		r.armHold()
+	}
+}
+
+// armHold (re)schedules the single straggler timer for the earliest due
+// block.
+func (r *Receiver) armHold() {
+	if r.holdTmr != nil {
+		r.holdTmr.Stop()
+		r.holdTmr = nil
+	}
+	var earliest time.Time
+	for _, b := range r.blocks {
+		if b.due.IsZero() || b.gaveUp || b.done() {
+			continue
+		}
+		if earliest.IsZero() || b.due.Before(earliest) {
+			earliest = b.due
+		}
+	}
+	if earliest.IsZero() {
+		return
+	}
+	d := earliest.Sub(r.cfg.Env.Now())
+	if d < 0 {
+		d = 0
+	}
+	r.holdTmr = r.cfg.Env.After(d, r.fireHold)
+}
+
+func (r *Receiver) fireHold() {
+	if r.closed {
+		return
+	}
+	r.holdTmr = nil
+	now := r.cfg.Env.Now()
+	for _, b := range r.blocks {
+		if b.due.IsZero() || b.due.After(now) || b.gaveUp || b.done() {
+			continue
+		}
+		r.abandonBlock(b)
+	}
+	r.drain()
+	r.noteBuffered()
+	r.armHold()
+}
+
+// abandonBlock gives up on the block's missing packets: no repair arrived
+// in time to decode them and there is no feedback channel to ask again.
+func (r *Receiver) abandonBlock(b *blockState) {
+	b.gaveUp = true
+	if b.dec != nil {
+		r.rows -= b.decRows
+		b.decRows = 0
+		b.dec = nil
+	}
+	for p := 0; p < b.count; p++ {
+		if b.have&(1<<uint(p)) != 0 {
+			continue
+		}
+		seq := b.lo + uint64(p)
+		if seq < r.nextDeliver {
+			continue
+		}
+		r.abandoned[seq] = true
+		r.stats.Abandoned++
+		if r.cfg.OnLost != nil {
+			r.cfg.OnLost(seq)
+		}
+	}
+}
+
+// drain delivers in order from the cursor, sweeping abandoned seqs, and
+// frees each block record once the cursor passes its end.
+func (r *Receiver) drain() {
+	for r.nextDeliver <= r.maxSeen {
+		seq := r.nextDeliver
+		if r.abandoned[seq] {
+			delete(r.abandoned, seq)
+			r.nextDeliver++
+			continue
+		}
+		idx := r.blockIdx(seq)
+		b := r.blocks[idx]
+		if b == nil {
+			break
+		}
+		p := r.posOf(seq)
+		if p >= b.count || b.have&(1<<uint(p)) == 0 {
+			break
+		}
+		r.deliver(b, p, seq)
+		r.nextDeliver++
+		if r.nextDeliver > b.hi() {
+			r.freeBlock(idx, b)
+		}
+	}
+}
+
+func (r *Receiver) freeBlock(idx uint64, b *blockState) {
+	if b.dec != nil {
+		r.rows -= b.decRows
+		b.decRows = 0
+		b.dec = nil
+	}
+	delete(r.blocks, idx)
+}
+
+func (r *Receiver) deliver(b *blockState, p int, seq uint64) {
+	// The entry stays in place after delivery: a repair symbol arriving
+	// later needs every held source packet as a decoder equation, so the
+	// block's payloads live until freeBlock drops the whole record.
+	e := b.entries[p]
+	rec := b.recovered&(1<<uint(p)) != 0
+	r.held--
+	r.stats.Delivered++
+	if rec {
+		r.stats.Recovered++
+	}
+	delay := r.cfg.Endpoint.Work(r.opts.ProcCost)
+	r.emitq.Emit(delay, transport.Delivery{
+		Stream:    r.cfg.Stream,
+		Seq:       seq,
+		Payload:   e.payload,
+		SentAt:    e.sentAt,
+		Recovered: rec,
+	})
+}
+
+func (r *Receiver) noteBuffered() {
+	r.stats.NoteBuffered(r.held + r.rows + len(r.abandoned))
+}

@@ -16,6 +16,12 @@ func FuzzParseSpec(f *testing.F) {
 		"x(a=1,b=2,c=3)",
 		"(",
 		"a(b=)",
+		"fountcast(k=8,oh=25)",
+		"fountcast(k=1,oh=0)",
+		"fountcast(k=64,oh=100)",
+		"fountcast(hb=100ms,hold=40ms,k=8,oh=25,proc=50µs)",
+		"fountcast(k=,oh=25)",
+		"fountcast(k=8,k=9)",
 	} {
 		f.Add(seed)
 	}

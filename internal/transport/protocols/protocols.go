@@ -10,12 +10,13 @@ import (
 	"adamant/internal/transport"
 	"adamant/internal/transport/ackcast"
 	"adamant/internal/transport/bemcast"
+	"adamant/internal/transport/fountcast"
 	"adamant/internal/transport/nakcast"
 	"adamant/internal/transport/ricochet"
 )
 
 // NewRegistry returns a registry with every built-in protocol registered:
-// ricochet, nakcast, bemcast, and ackcast.
+// ricochet, nakcast, bemcast, ackcast, and fountcast.
 func NewRegistry() (*transport.Registry, error) {
 	reg := transport.NewRegistry()
 	for _, f := range []*transport.Factory{
@@ -23,6 +24,7 @@ func NewRegistry() (*transport.Registry, error) {
 		nakcast.Factory(),
 		bemcast.Factory(),
 		ackcast.Factory(),
+		fountcast.Factory(),
 	} {
 		if err := reg.Register(f); err != nil {
 			return nil, fmt.Errorf("protocols: %w", err)

@@ -17,7 +17,7 @@ func TestNewRegistryHasAllProtocols(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []string{"ackcast", "bemcast", "nakcast", "ricochet"}
+	want := []string{"ackcast", "bemcast", "fountcast", "nakcast", "ricochet"}
 	got := reg.Names()
 	if len(got) != len(want) {
 		t.Fatalf("Names() = %v, want %v", got, want)

@@ -17,6 +17,7 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sort"
 	"strings"
 	"time"
@@ -229,8 +230,11 @@ func (p Params) Int(key string, def int) (int, error) {
 	if !ok {
 		return def, nil
 	}
-	var v int
-	if _, err := fmt.Sscanf(s, "%d", &v); err != nil {
+	// strconv.Atoi rather than Sscanf: the whole value must be the
+	// integer, so "25%" or "8x" is a spec error instead of silently
+	// parsing its numeric prefix.
+	v, err := strconv.Atoi(s)
+	if err != nil {
 		return 0, fmt.Errorf("transport: param %s=%q: %w", key, s, err)
 	}
 	return v, nil

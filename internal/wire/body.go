@@ -248,6 +248,98 @@ func DecodeHeartbeat(buf []byte) (*HeartbeatBody, error) {
 	}, nil
 }
 
+// SymbolBody is the payload of a TypeSymbol packet: one Fountcast repair
+// symbol. A source block is Count consecutive data packets; the symbol is
+// the XOR of the subset selected by a coefficient bit vector that every
+// node regenerates deterministically from (Seed, SymbolID), so the packet
+// carries only the block coordinates and the seed, never the mask itself.
+//
+// XORSentAt, XORLen, and XORPayload fold the selected packets' origination
+// timestamps (Unix nanoseconds), payload lengths, and zero-padded payloads,
+// exactly like Repair — a decoded source symbol therefore reconstructs the
+// original packet's send time, so latency accounting survives recovery.
+type SymbolBody struct {
+	// Block is the source-block index within the stream's sequence space.
+	Block uint64
+	// Count is the number of source packets in the block (1..64; the
+	// stream's final block may be shorter than the configured block size).
+	Count uint16
+	// SymbolID is the repair symbol's index within the block, starting at
+	// 1. Distinct IDs yield independent coefficient draws from the seed.
+	SymbolID uint32
+	// Seed is the block's coefficient seed.
+	Seed       uint64
+	XORSentAt  uint64
+	XORLen     uint16
+	XORPayload []byte
+}
+
+// MaxSymbolCount bounds a source block's size: coefficient vectors are one
+// 64-bit word.
+const MaxSymbolCount = 64
+
+// Encode appends the body encoding to dst.
+func (sb *SymbolBody) Encode(dst []byte) ([]byte, error) {
+	if sb.Count == 0 || sb.Count > MaxSymbolCount {
+		return dst, fmt.Errorf("%w: symbol block of %d sources", ErrBodyInvalid, sb.Count)
+	}
+	if sb.SymbolID == 0 {
+		return dst, fmt.Errorf("%w: symbol id 0", ErrBodyInvalid)
+	}
+	var b8 [8]byte
+	var b4 [4]byte
+	var b2 [2]byte
+	binary.BigEndian.PutUint64(b8[:], sb.Block)
+	dst = append(dst, b8[:]...)
+	binary.BigEndian.PutUint16(b2[:], sb.Count)
+	dst = append(dst, b2[:]...)
+	binary.BigEndian.PutUint32(b4[:], sb.SymbolID)
+	dst = append(dst, b4[:]...)
+	binary.BigEndian.PutUint64(b8[:], sb.Seed)
+	dst = append(dst, b8[:]...)
+	binary.BigEndian.PutUint64(b8[:], sb.XORSentAt)
+	dst = append(dst, b8[:]...)
+	binary.BigEndian.PutUint16(b2[:], sb.XORLen)
+	dst = append(dst, b2[:]...)
+	binary.BigEndian.PutUint16(b2[:], uint16(len(sb.XORPayload)))
+	dst = append(dst, b2[:]...)
+	dst = append(dst, sb.XORPayload...)
+	return dst, nil
+}
+
+// symbolFixedSize is the fixed prefix of a SymbolBody encoding.
+const symbolFixedSize = 8 + 2 + 4 + 8 + 8 + 2 + 2
+
+// DecodeSymbol parses a SymbolBody.
+func DecodeSymbol(buf []byte) (*SymbolBody, error) {
+	if len(buf) < symbolFixedSize {
+		return nil, ErrBodyTruncated
+	}
+	sb := &SymbolBody{
+		Block:     binary.BigEndian.Uint64(buf[0:8]),
+		Count:     binary.BigEndian.Uint16(buf[8:10]),
+		SymbolID:  binary.BigEndian.Uint32(buf[10:14]),
+		Seed:      binary.BigEndian.Uint64(buf[14:22]),
+		XORSentAt: binary.BigEndian.Uint64(buf[22:30]),
+		XORLen:    binary.BigEndian.Uint16(buf[30:32]),
+	}
+	if sb.Count == 0 || sb.Count > MaxSymbolCount {
+		return nil, fmt.Errorf("%w: symbol block of %d sources", ErrBodyInvalid, sb.Count)
+	}
+	if sb.SymbolID == 0 {
+		return nil, fmt.Errorf("%w: symbol id 0", ErrBodyInvalid)
+	}
+	// XORLen is the XOR of the covered payload lengths, not a length
+	// itself, so it carries no bound the payload must satisfy here; the
+	// decoder validates reconstructed lengths when it solves the block.
+	plen := int(binary.BigEndian.Uint16(buf[32:34]))
+	if len(buf) < symbolFixedSize+plen {
+		return nil, ErrBodyTruncated
+	}
+	sb.XORPayload = append([]byte(nil), buf[symbolFixedSize:symbolFixedSize+plen]...)
+	return sb, nil
+}
+
 // RebindRecord describes one completed or in-progress transport switch on a
 // stream: the epoch that was opened, the cut sequence at which the previous
 // epoch's sequence space ends (the new epoch publishes from Cut+1 onward),

@@ -58,6 +58,42 @@ func FuzzDecodeRepair(f *testing.F) {
 	})
 }
 
+// FuzzDecodeSymbol asserts the Fountcast symbol body parser is total and
+// only accepts bodies the encoder could have produced.
+func FuzzDecodeSymbol(f *testing.F) {
+	sb := &SymbolBody{Block: 7, Count: 8, SymbolID: 2, Seed: 99, XORSentAt: 5, XORLen: 12, XORPayload: []byte{1, 2, 3}}
+	seed, err := sb.Encode(nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add(seed[:symbolFixedSize])
+	f.Add([]byte{0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeSymbol(data)
+		if err != nil {
+			return
+		}
+		if s.Count == 0 || s.Count > MaxSymbolCount {
+			t.Fatalf("accepted symbol with count %d", s.Count)
+		}
+		if s.SymbolID == 0 {
+			t.Fatal("accepted symbol id 0")
+		}
+		back, err := s.Encode(nil)
+		if err != nil {
+			t.Fatalf("accepted symbol failed to re-encode: %v", err)
+		}
+		s2, err := DecodeSymbol(back)
+		if err != nil {
+			t.Fatalf("re-encoded symbol failed to decode: %v", err)
+		}
+		if s2.Block != s.Block || s2.Count != s.Count || s2.SymbolID != s.SymbolID || s2.Seed != s.Seed {
+			t.Fatal("round-trip changed symbol fields")
+		}
+	})
+}
+
 // FuzzDecodeNak asserts the NAK body parser is total and never returns
 // inverted ranges.
 func FuzzDecodeNak(f *testing.F) {

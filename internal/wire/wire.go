@@ -60,8 +60,13 @@ const (
 	// Receivers use it to instantiate protocol generations they missed and
 	// to learn where each generation's sequence space ends.
 	TypeRebind
+	// TypeSymbol carries one Fountcast repair symbol: a seeded random
+	// GF(2) linear combination of a source block's data packets. The body
+	// names the block, the symbol index, and the coefficient seed, so any
+	// receiver can regenerate the combination mask deterministically.
+	TypeSymbol
 
-	maxType = TypeRebind
+	maxType = TypeSymbol
 )
 
 var typeNames = [...]string{
@@ -74,6 +79,7 @@ var typeNames = [...]string{
 	TypeJoin:      "JOIN",
 	TypeLeave:     "LEAVE",
 	TypeRebind:    "REBIND",
+	TypeSymbol:    "SYMBOL",
 }
 
 // String implements fmt.Stringer.

@@ -334,6 +334,77 @@ func TestRepairBodyErrors(t *testing.T) {
 	}
 }
 
+func TestSymbolBodyRoundTrip(t *testing.T) {
+	sb := &SymbolBody{
+		Block:      42,
+		Count:      8,
+		SymbolID:   3,
+		Seed:       0xFEEDFACECAFEBEEF,
+		XORSentAt:  0xDEADBEEF,
+		XORLen:     15, // XOR of lengths, may exceed every covered length
+		XORPayload: []byte{9, 8, 7, 6, 5},
+	}
+	buf, err := sb.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSymbol(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Block != sb.Block || got.Count != sb.Count || got.SymbolID != sb.SymbolID ||
+		got.Seed != sb.Seed || got.XORSentAt != sb.XORSentAt || got.XORLen != sb.XORLen ||
+		!bytes.Equal(got.XORPayload, sb.XORPayload) {
+		t.Errorf("body mismatch: %+v vs %+v", got, sb)
+	}
+}
+
+func TestSymbolBodyBounds(t *testing.T) {
+	// Count = 1 (single-packet tail block) and Count = MaxSymbolCount are
+	// both legal; empty payload is legal (all-empty source packets).
+	for _, count := range []uint16{1, MaxSymbolCount} {
+		sb := &SymbolBody{Block: 1, Count: count, SymbolID: 1}
+		buf, err := sb.Encode(nil)
+		if err != nil {
+			t.Fatalf("count=%d: %v", count, err)
+		}
+		got, err := DecodeSymbol(buf)
+		if err != nil {
+			t.Fatalf("count=%d decode: %v", count, err)
+		}
+		if got.Count != count || len(got.XORPayload) != 0 {
+			t.Errorf("count=%d: got %+v", count, got)
+		}
+	}
+}
+
+func TestSymbolBodyErrors(t *testing.T) {
+	if _, err := (&SymbolBody{Count: 0, SymbolID: 1}).Encode(nil); !errors.Is(err, ErrBodyInvalid) {
+		t.Errorf("zero count encode err = %v", err)
+	}
+	if _, err := (&SymbolBody{Count: MaxSymbolCount + 1, SymbolID: 1}).Encode(nil); !errors.Is(err, ErrBodyInvalid) {
+		t.Errorf("oversize count encode err = %v", err)
+	}
+	if _, err := (&SymbolBody{Count: 4, SymbolID: 0}).Encode(nil); !errors.Is(err, ErrBodyInvalid) {
+		t.Errorf("zero symbol id encode err = %v", err)
+	}
+	if _, err := DecodeSymbol(nil); !errors.Is(err, ErrBodyTruncated) {
+		t.Errorf("nil decode err = %v", err)
+	}
+	good, err := (&SymbolBody{Block: 1, Count: 4, SymbolID: 1, XORPayload: []byte{1, 2, 3}}).Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeSymbol(good[:len(good)-1]); !errors.Is(err, ErrBodyTruncated) {
+		t.Errorf("short payload decode err = %v", err)
+	}
+	bad := append([]byte(nil), good...)
+	bad[9] = 0 // Count -> 0
+	if _, err := DecodeSymbol(bad); !errors.Is(err, ErrBodyInvalid) {
+		t.Errorf("zero count decode err = %v", err)
+	}
+}
+
 func TestNakBodyRoundTrip(t *testing.T) {
 	nb := &NakBody{Ranges: []SeqRange{{From: 5, To: 9}, {From: 20, To: 20}}}
 	buf, err := nb.Encode(nil)
