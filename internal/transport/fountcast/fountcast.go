@@ -423,6 +423,12 @@ func NewReceiver(cfg transport.Config, opts Options) (*Receiver, error) {
 // Stats implements transport.Receiver.
 func (r *Receiver) Stats() transport.ReceiverStats { return r.stats }
 
+// OpenBlocks reports the number of per-block state records currently held.
+// Every record must be freed once the delivery cursor passes the block,
+// whether its tail seq was delivered or abandoned — a record that outlives
+// the cursor leaks until the maxOpenBlocks cap stalls delivery.
+func (r *Receiver) OpenBlocks() int { return len(r.blocks) }
+
 // Close implements transport.Receiver.
 func (r *Receiver) Close() error {
 	if r.closed {
@@ -752,13 +758,16 @@ func (r *Receiver) abandonBlock(b *blockState) {
 func (r *Receiver) drain() {
 	for r.nextDeliver <= r.maxSeen {
 		seq := r.nextDeliver
+		idx := r.blockIdx(seq)
+		b := r.blocks[idx]
 		if r.abandoned[seq] {
 			delete(r.abandoned, seq)
 			r.nextDeliver++
+			if b != nil && r.nextDeliver > b.hi() {
+				r.freeBlock(idx, b)
+			}
 			continue
 		}
-		idx := r.blockIdx(seq)
-		b := r.blocks[idx]
 		if b == nil {
 			break
 		}

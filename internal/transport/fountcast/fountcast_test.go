@@ -377,6 +377,33 @@ func TestBaseSeqRebasedSequenceSpace(t *testing.T) {
 
 // The receiver's recovery state (holdback entries + buffered equations +
 // abandoned set) stays bounded even when every other packet is lost.
+// A block whose final seq is abandoned rather than delivered must still
+// have its state record freed once the cursor sweeps past it. With zero
+// overhead, dropping the last packet of every block forces the cursor
+// through the abandoned branch at each block boundary; any surviving
+// record is a leak that would eventually hit maxOpenBlocks and stall
+// delivery permanently.
+func TestAbandonedTailBlockFreed(t *testing.T) {
+	h := newHarness(t, 1, fountcast.Options{K: 4, OverheadPct: 0, Hold: 10 * time.Millisecond})
+	h.fab.Drop = func(from, to wire.NodeID, pkt *wire.Packet) bool {
+		return pkt.Type == wire.TypeData && pkt.Seq%4 == 0 && pkt.Seq < 40
+	}
+	h.publishN(t, 40, 2*time.Millisecond) // 10 blocks; blocks 0..8 lose their tail
+	h.finish(t)
+	ds := h.delivery[0]
+	if len(ds) != 31 {
+		t.Fatalf("delivered %d, want 31: %v", len(ds), seqs(ds))
+	}
+	checkOrdered(t, ds)
+	st := h.recvs[0].Stats()
+	if st.Abandoned != 9 {
+		t.Errorf("Abandoned = %d, want 9", st.Abandoned)
+	}
+	if got := h.recvs[0].OpenBlocks(); got != 0 {
+		t.Errorf("OpenBlocks = %d after full drain, want 0 (abandoned-tail blocks leaked)", got)
+	}
+}
+
 func TestRecoveryStateBounded(t *testing.T) {
 	h := newHarness(t, 1, fountcast.Options{K: 8, OverheadPct: 25, Hold: 10 * time.Millisecond})
 	h.fab.Drop = func(from, to wire.NodeID, pkt *wire.Packet) bool {

@@ -17,8 +17,8 @@ package transport
 import (
 	"errors"
 	"fmt"
-	"strconv"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
