@@ -65,14 +65,15 @@ bench-sim:
 	$(GO) test -bench . -benchmem -benchtime 2x -run NONE ./internal/sim/bench/
 	$(GO) run ./cmd/adamant-bench -sim -shard-workers 1,2,4,8 -shard-groups 50,200,500,1000 -out BENCH_sim.json
 
-# bench-broker asserts the zero-alloc publish path and the >=2x
+# bench-broker asserts the zero-alloc publish and delivery paths, the
+# wire byte-identity of the vectored data plane, and the >=2x
 # routing+delivery speedup over the seed broker at 10k subscriptions,
-# then regenerates BENCH_broker.json: the fan-out sweep (group size x
-# payload size) with p50/p99/p99.9 delivery latency plus the seed
-# comparison.
+# then regenerates BENCH_broker.json: the open-loop load-latency curve
+# (offered rate walked to the saturation knee on both data planes) plus
+# the fan-out sweep (group size x payload size) and the seed comparison.
 bench-broker:
-	$(GO) test -run 'TestPublishZeroAlloc|TestFanoutSpeedup' -v ./internal/broker/...
+	$(GO) test -run 'TestPublishZeroAlloc|TestDeliveryAllocs|TestWireByteIdentityAcrossDataPlanes|TestFanoutSpeedup' -v ./internal/broker/...
 	$(GO) test -bench 'BenchmarkFanout' -benchtime 200x -run NONE ./internal/broker/bench/
-	$(GO) run ./cmd/adamant-fleet -compare -out BENCH_broker.json -v
+	$(GO) run ./cmd/adamant-fleet -compare -ll -out BENCH_broker.json -v
 
 check: tier1 race

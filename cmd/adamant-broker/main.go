@@ -4,6 +4,7 @@
 //
 //	adamant-broker -addr :4222
 //	adamant-broker -shards 16 -queue-frames 32768 -slow-policy drop
+//	adamant-broker -admission-bytes 67108864 -admission-timeout 2s
 package main
 
 import (
@@ -23,6 +24,8 @@ func main() {
 	queueFrames := flag.Int("queue-frames", 0, "per-client outbound queue bound in frames (0 = default)")
 	queueBytes := flag.Int64("queue-bytes", 0, "per-client outbound queue bound in bytes (0 = default)")
 	slowPolicy := flag.String("slow-policy", "disconnect", "slow-consumer policy: disconnect or drop")
+	admissionBytes := flag.Int64("admission-bytes", 0, "publish-admission window in queued bytes (0 = default 32MiB, -1 = disabled)")
+	admissionTimeout := flag.Duration("admission-timeout", 0, "max time a publish batch parks on admission (0 = default 1s)")
 	flag.Parse()
 
 	var opts []broker.Option
@@ -34,6 +37,9 @@ func main() {
 	}
 	if *queueFrames > 0 || *queueBytes > 0 {
 		opts = append(opts, broker.WithWriteQueue(*queueFrames, *queueBytes))
+	}
+	if *admissionBytes != 0 || *admissionTimeout > 0 {
+		opts = append(opts, broker.WithPublishAdmission(*admissionBytes, *admissionTimeout))
 	}
 	switch *slowPolicy {
 	case "disconnect":

@@ -46,9 +46,38 @@ type fleetReport struct {
 	// only with -compare).
 	SeedComparison *bench.Comparison `json:"seed_comparison,omitempty"`
 
+	// LoadLatency is the open-loop load–latency section (present only
+	// with -ll): the offered-rate ladder walked to the saturation knee
+	// on both data planes.
+	LoadLatency *loadLatency `json:"load_latency,omitempty"`
+
 	// Sweep is the fan-out grid: one cell per group size x payload size
 	// x publish rate.
 	Sweep []fleet.Result `json:"sweep"`
+}
+
+// loadLatency is the open-loop curve: p50/p99/p99.9 vs offered rate on
+// the vectored (PR 9) and legacy (pre-PR 9) data planes, measured by the
+// identical harness.
+type loadLatency struct {
+	Subscribers  int     `json:"subscribers"`
+	PayloadBytes int     `json:"payload_bytes"`
+	SecondsPerPt float64 `json:"seconds_per_point"`
+	KneeP99Ms    float64 `json:"knee_p99_ms"`
+	// RepeatsPerPt is how many times each ladder point ran; the
+	// observation with the lowest p99 is the one recorded (external CPU
+	// contention on a shared box only ever adds latency).
+	RepeatsPerPt int `json:"repeats_per_point"`
+
+	Vectored fleet.Sweep `json:"vectored"`
+	Legacy   fleet.Sweep `json:"legacy"`
+
+	// PacedP99SpeedupX is max(legacy p99 / vectored p99) over the
+	// offered rates both planes completed: how much better the PR 9
+	// plane's tail is at a load the old plane still nominally handles.
+	PacedP99SpeedupX float64 `json:"paced_p99_speedup_x"`
+	// At the rate where that maximum occurred:
+	SpeedupAtRateHz int `json:"speedup_at_rate_hz"`
 }
 
 func main() {
@@ -64,6 +93,14 @@ func main() {
 		compare  = flag.Bool("compare", false, "also run the seed-broker comparison at 10k subscriptions")
 		outPath  = flag.String("out", "BENCH_broker.json", "JSON report path")
 		verbose  = flag.Bool("v", false, "progress logging")
+
+		ll        = flag.Bool("ll", false, "run the open-loop load-latency rate sweep (both data planes)")
+		llSubs    = flag.Int("ll-subs", 1000, "load-latency: fan-out group size")
+		llPayload = flag.Int("ll-payload", 128, "load-latency: payload bytes")
+		llRates   = flag.String("ll-rates", "500,1000,2000,4000,8000,16000,32000", "load-latency: offered-rate ladder in Hz (comma list)")
+		llSeconds = flag.Float64("ll-seconds", 1.0, "load-latency: measured seconds per ladder point")
+		llKneeMs  = flag.Float64("ll-knee-ms", 100, "load-latency: p99 bound that marks the saturation knee")
+		llRepeats = flag.Int("ll-repeats", 3, "load-latency: repeats per ladder point (best p99 kept)")
 	)
 	flag.Parse()
 
@@ -95,8 +132,14 @@ func main() {
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		Notes: "subscribers are mock sids multiplexed over `conns` real TCP connections; " +
 			"publisher, fleet, and broker share the CPUs above, so deliveries/s is a " +
-			"single-box number, not a cluster claim; rate_hz 0 = unpaced publisher; " +
-			"latency is publish-stamp to subscriber-read over loopback.",
+			"single-box number, not a cluster claim; latency is publish-stamp to " +
+			"subscriber-read over loopback. Paced cells (rate_hz > 0) are open-loop: " +
+			"stamps carry the intended send time, so publisher stalls count against " +
+			"latency (no coordinated omission) and behind_schedule/max_send_lag_ms " +
+			"report unsustained load. Unpaced cells (rate_hz 0) are closed-loop " +
+			"throughput probes: stamps are actual send times, internal queueing " +
+			"appears as latency, and their percentiles must not be read as " +
+			"service latency under load — use the load_latency section for that.",
 	}
 
 	if *compare {
@@ -108,6 +151,61 @@ func main() {
 		progress("  current %.0f del/s, seed %.0f del/s, speedup %.2fx",
 			cmp.Current.DeliveriesPerSec, cmp.Seed.DeliveriesPerSec, cmp.Speedup)
 		rep.SeedComparison = &cmp
+	}
+
+	if *ll {
+		rateLadder, err := parseIntList(*llRates)
+		if err != nil {
+			fatal("-ll-rates: %v", err)
+		}
+		sec := &loadLatency{
+			Subscribers:  *llSubs,
+			PayloadBytes: *llPayload,
+			SecondsPerPt: *llSeconds,
+			KneeP99Ms:    *llKneeMs,
+			RepeatsPerPt: *llRepeats,
+		}
+		base := fleet.Config{
+			Subscribers:  *llSubs,
+			Conns:        *conns,
+			PayloadBytes: *llPayload,
+			Seed:         *seed,
+			Shards:       *shards,
+		}
+		progress("load-latency sweep: %d subs, %dB payload, vectored plane", *llSubs, *llPayload)
+		sec.Vectored, err = fleet.RateSweep(fleet.SweepConfig{
+			Base: base, Rates: rateLadder, Seconds: *llSeconds, KneeP99Ms: *llKneeMs, Repeats: *llRepeats,
+		}, progress)
+		if err != nil {
+			fatal("load-latency (vectored): %v", err)
+		}
+		legacyBase := base
+		legacyBase.Legacy = true
+		progress("load-latency sweep: legacy plane")
+		sec.Legacy, err = fleet.RateSweep(fleet.SweepConfig{
+			Base: legacyBase, Rates: rateLadder, Seconds: *llSeconds, KneeP99Ms: *llKneeMs, Repeats: *llRepeats,
+		}, progress)
+		if err != nil {
+			fatal("load-latency (legacy): %v", err)
+		}
+		// Headline: worst legacy-vs-vectored p99 ratio at a common
+		// offered rate.
+		vp99 := map[int]float64{}
+		for _, p := range sec.Vectored.Points {
+			vp99[p.RateHz] = p.LatencyP99Ms
+		}
+		for _, p := range sec.Legacy.Points {
+			v, ok := vp99[p.RateHz]
+			if !ok || v <= 0 {
+				continue
+			}
+			if x := p.LatencyP99Ms / v; x > sec.PacedP99SpeedupX {
+				sec.PacedP99SpeedupX = x
+				sec.SpeedupAtRateHz = p.RateHz
+			}
+		}
+		progress("load-latency: paced p99 speedup %.1fx at %d Hz", sec.PacedP99SpeedupX, sec.SpeedupAtRateHz)
+		rep.LoadLatency = sec
 	}
 
 	for _, g := range groupList {

@@ -1,0 +1,90 @@
+package broker
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// The payload arena makes a published message body a shared, refcounted
+// resource: handlePub fills one pooled buffer, the fan-out enqueues that
+// same buffer into every matching client's outbound queue, and the
+// buffer returns to its size-class pool only when the last holder —
+// writer goroutine after the bytes hit the socket, or discard() on a
+// slow-consumer teardown — drops its reference. A 10k-way fan-out of a
+// 1 MiB payload therefore costs one buffer for its whole lifetime
+// instead of one allocation per publish (PR 7) or one copy per delivery
+// (the seed broker).
+//
+// Reference discipline:
+//
+//   - arenaGet returns the buffer with one reference, the publisher hold.
+//   - sendMsg takes a reference *before* enqueueing (never after: the
+//     writer may drain and release the frame the instant enqueue returns)
+//     and gives it back if the queue rejects the frame. The give-back can
+//     never hit zero because the publisher hold is still outstanding.
+//   - routeBatch drops the publisher hold once the message has been
+//     offered to every matching subscription.
+//   - writeLoop / writeLoopLegacy release one reference per frame after
+//     the frame's bytes are written (or abandoned on a dead connection);
+//     outQueue.discard releases the references of frames it throws away.
+//
+// The last release returns the buffer to its pool; the refcount is the
+// only thing standing between the pool and a use-after-reuse, which is
+// exactly what TestArenaReleaseDisconnectStress hammers under -race.
+
+// payloadRef is one refcounted payload buffer. data is the payload-sized
+// prefix of the class-sized backing array full.
+type payloadRef struct {
+	refs  atomic.Int32
+	class int32
+	full  []byte
+	data  []byte
+}
+
+// Size classes are powers of two from arenaMinClass bytes up to
+// MaxPayload; a request is rounded up to the next class.
+const (
+	arenaMinShift = 8  // 256 B
+	arenaMaxShift = 20 // 1 MiB == MaxPayload
+	arenaClasses  = arenaMaxShift - arenaMinShift + 1
+)
+
+var arenaPools [arenaClasses]sync.Pool
+
+// arenaClassFor maps a payload size to its size-class index.
+func arenaClassFor(n int) int {
+	if n <= 1<<arenaMinShift {
+		return 0
+	}
+	return bits.Len(uint(n-1)) - arenaMinShift
+}
+
+// arenaGet returns a buffer for an n-byte payload holding one reference
+// (the publisher hold). n must be in [0, MaxPayload].
+func arenaGet(n int) *payloadRef {
+	class := arenaClassFor(n)
+	pb, _ := arenaPools[class].Get().(*payloadRef)
+	if pb == nil {
+		pb = &payloadRef{
+			class: int32(class),
+			full:  make([]byte, 1<<(class+arenaMinShift)),
+		}
+	}
+	pb.refs.Store(1)
+	pb.data = pb.full[:n]
+	return pb
+}
+
+// retain takes one additional reference. It must be called while the
+// caller already owns a reference (see the discipline above).
+func (pb *payloadRef) retain() { pb.refs.Add(1) }
+
+// release drops one reference, returning the buffer to its pool when the
+// count hits zero. After release the caller must not touch pb.data.
+func (pb *payloadRef) release() {
+	if pb.refs.Add(-1) == 0 {
+		pb.data = nil
+		arenaPools[pb.class].Put(pb)
+	}
+}

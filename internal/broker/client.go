@@ -26,8 +26,9 @@ type Handler func(Msg)
 type Client struct {
 	conn net.Conn
 
-	wmu     sync.Mutex // serializes writes, guards scratch
-	scratch []byte     // reusable frame-encode buffer
+	wmu     sync.Mutex  // serializes writes, guards scratch and iov
+	scratch []byte      // reusable frame-encode buffer
+	iov     net.Buffers // reusable writev list for large publishes
 
 	mu      sync.Mutex
 	subs    map[string]*Subscription
@@ -136,9 +137,6 @@ func (c *Client) Publish(subject string, data []byte) error {
 	if len(data) > MaxPayload {
 		return fmt.Errorf("broker: payload %d exceeds max %d", len(data), MaxPayload)
 	}
-	// Build the whole frame (header + payload + CRLF) in a reusable
-	// scratch buffer: one conn.Write, zero per-publish allocations once
-	// the buffer has grown to the working payload size.
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
 	b := c.scratch[:0]
@@ -147,12 +145,36 @@ func (c *Client) Publish(subject string, data []byte) error {
 	b = append(b, ' ')
 	b = strconv.AppendInt(b, int64(len(data)), 10)
 	b = append(b, '\r', '\n')
+	if len(data) >= clientWritevMin {
+		if _, ok := c.conn.(*net.TCPConn); ok {
+			// Large payload on a real socket: hand header, payload, and
+			// CRLF to one writev instead of copying the payload into
+			// scratch. WriteTo consumes its receiver, so pass a copy of the
+			// slice header and clear the payload reference afterwards.
+			c.scratch = b
+			c.iov = append(c.iov[:0], b, data, crlf)
+			bufs := c.iov
+			_, err := bufs.WriteTo(c.conn)
+			for i := range c.iov {
+				c.iov[i] = nil
+			}
+			return err
+		}
+	}
+	// Small payload (or pipe conn): build the whole frame in the reusable
+	// scratch buffer — one conn.Write, zero per-publish allocations once
+	// the buffer has grown to the working payload size.
 	b = append(b, data...)
 	b = append(b, '\r', '\n')
 	c.scratch = b
 	_, err := c.conn.Write(b)
 	return err
 }
+
+// clientWritevMin is the payload size at which Publish switches from
+// copying into scratch to a 3-iovec writev. Below it the memcpy is
+// cheaper than the longer iovec walk.
+const clientWritevMin = 4096
 
 // Flush round-trips a PING/PONG, guaranteeing the broker has processed
 // everything sent before the call.

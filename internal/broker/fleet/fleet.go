@@ -25,6 +25,17 @@ import (
 // large so every delivery can be latency-stamped.
 const timestampBytes = 8
 
+// minPaceTick is the floor on the publisher's pacing quantum. Sleeping
+// per message at sub-millisecond intervals measures the OS timer, not
+// the broker: wake-up jitter exceeds the interval and every cell looks
+// "behind schedule" regardless of data plane. Instead the paced loop
+// wakes at max(interval, minPaceTick), sends every message whose
+// intended time has arrived in one batch, and stamps each with its own
+// intended time — so quantization adds at most one tick of measured
+// latency (identically on both planes) and BehindSchedule only counts
+// lag beyond the quantum, i.e. genuine backpressure.
+const minPaceTick = 2 * time.Millisecond
+
 // Config describes one fleet run.
 type Config struct {
 	// Subscribers is the fan-out group size: every subscriber holds one
@@ -39,6 +50,16 @@ type Config struct {
 	// Messages published. Default 100.
 	Messages int
 	// RateHz paces the publisher; 0 publishes at maximum rate.
+	//
+	// A paced run is measured open-loop: every payload is stamped with
+	// the publisher's *intended* send time (start + i/rate), not the
+	// actual write time. If the broker pushes back (admission, TCP) and
+	// the publisher falls behind schedule, that stall shows up in the
+	// delivery latency instead of silently shifting the measurement
+	// window — the coordinated-omission bias the PR 7 harness had.
+	// Sends are quantized to max(1/rate, minPaceTick); see minPaceTick.
+	// Unpaced runs have no schedule, are stamped at actual send time,
+	// and are flagged closed-loop in the Result.
 	RateHz int
 
 	// Seed/Shards/QueueFrames/QueueBytes configure the in-process
@@ -50,6 +71,13 @@ type Config struct {
 	Shards      int
 	QueueFrames int
 	QueueBytes  int64
+
+	// Legacy runs the server on the pre-PR 9 data plane (per-publish
+	// routing, bufio copy writer, no admission) for in-tree before/after
+	// comparison. AdmissionBytes overrides the publish-admission window
+	// (0 = broker default, < 0 = disabled).
+	Legacy         bool
+	AdmissionBytes int64
 }
 
 // Result is one measured sweep cell.
@@ -60,8 +88,23 @@ type Result struct {
 	Messages     int `json:"messages"`
 	RateHz       int `json:"rate_hz"`
 
+	// DataPlane is "vectored" (PR 9) or "legacy" (pre-PR 9); OpenLoop
+	// reports whether latency was stamped from the intended send
+	// schedule (paced runs) or the actual send time (unpaced runs,
+	// which are closed-loop and understate latency under saturation).
+	DataPlane string `json:"data_plane"`
+	OpenLoop  bool   `json:"open_loop"`
+
 	Delivered uint64 `json:"delivered"`
 	Dropped   uint64 `json:"dropped"`
+
+	// BehindSchedule counts publishes that went out more than one pacing
+	// quantum (max(interval, minPaceTick)) after their intended send
+	// time; MaxSendLagMs is the worst observed lag. A large
+	// BehindSchedule means the offered rate was not actually sustained —
+	// the cell is at or past the saturation knee.
+	BehindSchedule uint64  `json:"behind_schedule"`
+	MaxSendLagMs   float64 `json:"max_send_lag_ms"`
 
 	Seconds          float64 `json:"seconds"`
 	PublishPerSec    float64 `json:"publish_per_sec"`
@@ -117,6 +160,8 @@ func Run(cfg Config) (Result, error) {
 		PayloadBytes: cfg.PayloadBytes,
 		Messages:     cfg.Messages,
 		RateHz:       cfg.RateHz,
+		DataPlane:    "vectored",
+		OpenLoop:     cfg.RateHz > 0,
 	}
 
 	opts := []broker.Option{
@@ -126,6 +171,13 @@ func Run(cfg Config) (Result, error) {
 	}
 	if cfg.Shards > 0 {
 		opts = append(opts, broker.WithShards(cfg.Shards))
+	}
+	if cfg.Legacy {
+		res.DataPlane = "legacy"
+		opts = append(opts, broker.WithLegacyDataPlane())
+	}
+	if cfg.AdmissionBytes != 0 {
+		opts = append(opts, broker.WithPublishAdmission(cfg.AdmissionBytes, 0))
 	}
 	srv := broker.NewServer(opts...)
 	if err := srv.ListenAndServe("127.0.0.1:0"); err != nil {
@@ -190,24 +242,71 @@ func Run(cfg Config) (Result, error) {
 	}
 
 	expected := uint64(cfg.Messages) * uint64(cfg.Subscribers)
+	var maxLag time.Duration
+	crlfTail := []byte("\r\n")
 	start := time.Now()
-	for i := 0; i < cfg.Messages; i++ {
-		if interval > 0 {
+	if interval > 0 {
+		// Open loop: every stamp is the message's *intended* send time
+		// (start + i*interval). If a flush blocks on broker backpressure
+		// the next batch goes out late and delivery latency grows by
+		// exactly the lag, instead of the sample silently moving to a
+		// later window. Sends are quantized to the pacing quantum (see
+		// minPaceTick): each wake flushes every message due by now.
+		quantum := interval
+		if quantum < minPaceTick {
+			quantum = minPaceTick
+		}
+		for i := 0; i < cfg.Messages; {
 			next := start.Add(time.Duration(i) * interval)
 			if d := time.Until(next); d > 0 {
 				time.Sleep(d)
 			}
+			now := time.Now()
+			due := int(now.Sub(start)/interval) + 1
+			if due > cfg.Messages {
+				due = cfg.Messages
+			}
+			if due <= i {
+				due = i + 1
+			}
+			for ; i < due; i++ {
+				next = start.Add(time.Duration(i) * interval)
+				if lag := now.Sub(next); lag > 0 {
+					if lag > maxLag {
+						maxLag = lag
+					}
+					if lag > quantum {
+						res.BehindSchedule++
+					}
+				}
+				binary.LittleEndian.PutUint64(payload, uint64(next.UnixNano()))
+				pw.Write(header)
+				pw.Write(payload)
+				pw.Write(crlfTail)
+			}
+			// One flush per quantum: the batch reaches the wire together,
+			// which is exactly the shape the broker's batched ingest path
+			// (and the legacy one-at-a-time path) must absorb.
+			if err := pw.Flush(); err != nil {
+				return res, err
+			}
 		}
-		binary.LittleEndian.PutUint64(payload, uint64(time.Now().UnixNano()))
-		pw.Write(header)
-		pw.Write(payload)
-		pw.Write([]byte("\r\n"))
-		// Flush per publish: a buffered batch would stamp timestamps long
-		// before the bytes reach the wire and flatter the latency numbers.
-		if err := pw.Flush(); err != nil {
-			return res, err
+	} else {
+		for i := 0; i < cfg.Messages; i++ {
+			// Unpaced: no schedule exists, so stamp the actual send time
+			// (closed loop — see Result.OpenLoop).
+			binary.LittleEndian.PutUint64(payload, uint64(time.Now().UnixNano()))
+			pw.Write(header)
+			pw.Write(payload)
+			pw.Write(crlfTail)
+			// Flush per publish: a buffered batch would stamp timestamps
+			// long before the bytes reach the wire and flatter latency.
+			if err := pw.Flush(); err != nil {
+				return res, err
+			}
 		}
 	}
+	res.MaxSendLagMs = float64(maxLag) / 1e6
 
 	// Completion: every expected delivery accounted for, received or
 	// dropped by the slow-consumer policy. The deadline scales with the

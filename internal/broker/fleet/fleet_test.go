@@ -61,6 +61,75 @@ func TestFleetPaced(t *testing.T) {
 	}
 }
 
+// TestFleetOpenLoopFlag pins the coordinated-omission contract: paced
+// runs are open-loop (intended-time stamps, schedule accounting live),
+// unpaced runs are flagged closed-loop, and both report their data
+// plane.
+func TestFleetOpenLoopFlag(t *testing.T) {
+	paced, err := Run(Config{
+		Subscribers: 50, Conns: 2, PayloadBytes: 16, Messages: 30, RateHz: 200, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !paced.OpenLoop {
+		t.Error("paced run not flagged open-loop")
+	}
+	if paced.DataPlane != "vectored" {
+		t.Errorf("data plane %q, want vectored", paced.DataPlane)
+	}
+	if paced.MaxSendLagMs < 0 {
+		t.Errorf("negative send lag %.3f", paced.MaxSendLagMs)
+	}
+
+	unpaced, err := Run(Config{
+		Subscribers: 50, Conns: 2, PayloadBytes: 16, Messages: 30, Seed: 7, Legacy: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unpaced.OpenLoop {
+		t.Error("unpaced run flagged open-loop; it is closed-loop by construction")
+	}
+	if unpaced.DataPlane != "legacy" {
+		t.Errorf("data plane %q, want legacy", unpaced.DataPlane)
+	}
+	if unpaced.BehindSchedule != 0 {
+		t.Errorf("unpaced run has no schedule, BehindSchedule = %d", unpaced.BehindSchedule)
+	}
+}
+
+// TestRateSweepWalksLadder smoke-tests the sweep driver: two easy rates
+// on a tiny fleet produce two points with sane fields and no knee.
+func TestRateSweepWalksLadder(t *testing.T) {
+	sw, err := RateSweep(SweepConfig{
+		Base:      Config{Subscribers: 30, Conns: 2, PayloadBytes: 16, Seed: 7},
+		Rates:     []int{200, 400},
+		Seconds:   0.15,
+		KneeP99Ms: 10_000, // unreachable on an idle tiny fleet
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(sw.Points))
+	}
+	for i, p := range sw.Points {
+		if !p.OpenLoop {
+			t.Errorf("point %d not open-loop", i)
+		}
+		if p.LatencyP99Ms <= 0 {
+			t.Errorf("point %d has no p99", i)
+		}
+	}
+	if sw.Points[0].RateHz != 200 || sw.Points[1].RateHz != 400 {
+		t.Errorf("rates = %d,%d want 200,400", sw.Points[0].RateHz, sw.Points[1].RateHz)
+	}
+	if sw.KneeRateHz != 0 {
+		t.Errorf("knee at %d Hz on an idle fleet with a 10s bound", sw.KneeRateHz)
+	}
+}
+
 func TestHistogramQuantiles(t *testing.T) {
 	var h Histogram
 	for i := uint64(1); i <= 1000; i++ {

@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"bytes"
 	"net"
 	"testing"
 	"time"
@@ -35,6 +36,15 @@ func FuzzServerCommand(f *testing.F) {
 	f.Add([]byte("pub a 1\r\nx\r\nping\r\n"))          // lower-case commands
 	f.Add([]byte("\r\n\r\n  \t \r\nPING\r\n"))
 	f.Add([]byte("PUB a 3\r\nxy"))
+	// Batched-ingest framing (PR 9): multiple pipelined PUBs in one
+	// segment, batches split by interleaved control commands, a zero-byte
+	// payload inside a batch, and a batch whose tail is truncated
+	// mid-payload (flush-before-blocking path).
+	f.Add([]byte("SUB b 1\r\nPUB b 2\r\nhi\r\nPUB b 3\r\nabc\r\nPUB b 0\r\n\r\nPING\r\n"))
+	f.Add([]byte("PUB a 1\r\nx\r\nPUB a 1\r\ny\r\nSUB a 9\r\nPUB a 1\r\nz\r\nUNSUB 9\r\n"))
+	f.Add([]byte("PUB a 1\r\nx\r\nPUB a 5\r\nab"))
+	f.Add([]byte("PUB a 2\r\nok\r\nPUB .bad. 1\r\nq\r\nPUB a 2\r\nok\r\n"))
+	f.Add(append(append([]byte("PUB big 2000\r\n"), bytes.Repeat([]byte{'z'}, 2000)...), []byte("\r\nPUB a 1\r\nw\r\nPING\r\n")...))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		srv := NewServer(WithSeed(1), WithShards(2), WithWriteQueue(64, 1<<20))
 		defer srv.Shutdown()

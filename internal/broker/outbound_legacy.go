@@ -1,0 +1,51 @@
+package broker
+
+import (
+	"bufio"
+	"net"
+)
+
+// writeLoopLegacy is the PR 7/PR 8 delivery path, kept verbatim in
+// spirit: every frame's header, payload, and CRLF are copied into a
+// bufio.Writer and flushed when the queue runs dry. It exists for two
+// reasons: TestWireByteIdentityAcrossDataPlanes pins that the vectored
+// writer produces byte-identical client streams, and the fleet harness
+// drives it (Config.Legacy) to measure the before/after load–latency
+// curve of the PR 9 data plane inside one tree. Selected by
+// WithLegacyDataPlane, which also disables ingest batching and publish
+// admission so the whole plane matches the PR 8 behavior.
+func writeLoopLegacy(conn net.Conn, q *outQueue) {
+	bw := bufio.NewWriterSize(conn, writeBufSize)
+	var batch []outFrame
+	for {
+		var closed bool
+		batch, closed = q.take(batch[:0], maxDrainFrames)
+		if len(batch) == 0 && closed {
+			bw.Flush()
+			conn.Close()
+			return
+		}
+		ok := true
+		for i := range batch {
+			f := &batch[i]
+			if ok {
+				_, err := bw.Write(f.hdr.b)
+				if err == nil && f.pb != nil {
+					if _, err = bw.Write(f.payload); err == nil {
+						_, err = bw.Write(crlf)
+					}
+				}
+				ok = err == nil
+			}
+			f.free()
+		}
+		if ok && !q.pending() {
+			ok = bw.Flush() == nil
+		}
+		if !ok {
+			// The peer is gone: unblock the reader and drop the rest.
+			conn.Close()
+			q.discard()
+		}
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package broker
+
+// raceEnabled lets allocation-pinning tests skip under -race: the race
+// runtime allocates shadow state on the instrumented paths, which is
+// not what those tests measure.
+const raceEnabled = true

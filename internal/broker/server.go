@@ -8,12 +8,17 @@
 // configurability), and it gives the runnable examples a real-socket data
 // path alongside the simulated DDS/ANT stack.
 //
-// The data path is built for high fan-out: subscriptions live in
-// sharded subject-token tries with per-subject match caches (see
-// sublist.go), publishes take one shard lock instead of a server-wide
-// one, hot counters are atomics, and every client drains a bounded
-// outbound queue through a coalescing writer goroutine (see outbound.go)
-// so a stalled subscriber can never stall the fan-out.
+// The data path is built for high fan-out and bounded latency:
+// subscriptions live in sharded subject-token tries with per-subject
+// match caches (sublist.go); a reader goroutine parses every PUB that is
+// already buffered on its socket into one ingest batch and routes the
+// batch with one shard-lock acquisition per shard run and one trie/cache
+// probe per distinct subject (routeBatch); payload bodies live in a
+// refcounted arena (arena.go) shared across the whole fan-out; writer
+// goroutines drain bounded per-client queues into vectored writev
+// batches (outbound.go); and a publish-admission gauge (admission.go)
+// paces unpaced publishers instead of letting internal queues grow into
+// seconds of latency.
 //
 // Wire protocol (text, CRLF-terminated control lines):
 //
@@ -28,11 +33,13 @@ package broker
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -43,7 +50,19 @@ import (
 // MaxPayload bounds a single message payload.
 const MaxPayload = 1 << 20
 
-// ServerStats are cumulative broker counters.
+// Ingest batching bounds: a reader routes its pending publishes once it
+// has this many messages or payload bytes, or as soon as its socket has
+// no complete command left buffered (so batching never adds latency —
+// it only amortizes work that is already waiting).
+const (
+	maxIngestBatch = 256
+	maxIngestBytes = 256 << 10
+)
+
+// ServerStats are cumulative broker counters. A Stats snapshot is
+// internally consistent: all fields come from the same seqlock
+// generation, so invariants that hold per update batch (e.g. BytesOut
+// matching MsgsOut for a fixed payload size) hold in every snapshot.
 type ServerStats struct {
 	Connections   uint64
 	MsgsIn        uint64
@@ -57,29 +76,57 @@ type ServerStats struct {
 	// SlowConsumerDisconnect.
 	SlowConsumerDrops       uint64
 	SlowConsumerDisconnects uint64
+
+	// AdmissionWaits counts publish batches that parked on the admission
+	// gauge; AdmissionTimeouts counts the subset that gave up waiting and
+	// proceeded (see admission.go for why the wait is bounded).
+	AdmissionWaits    uint64
+	AdmissionTimeouts uint64
 }
 
-// counters are the hot-path stats, kept as atomics so the publish path
-// never takes the server lock.
+// counters is the seqlock-guarded stats block. Writers (routeBatch and
+// the rare connection/subscription events) serialize on mu and bump seq
+// to odd around their field updates; Stats spins until it reads the same
+// even seq before and after loading the fields, so a snapshot can never
+// mix counters from two different updates. The fields stay atomics so
+// the reader's loads are race-clean while a writer is mid-update.
 type counters struct {
-	connections     atomic.Uint64
-	msgsIn          atomic.Uint64
-	msgsOut         atomic.Uint64
-	bytesIn         atomic.Uint64
-	bytesOut        atomic.Uint64
-	subscriptions   atomic.Uint64
-	slowDrops       atomic.Uint64
-	slowDisconnects atomic.Uint64
+	mu  sync.Mutex
+	seq atomic.Uint64
+
+	connections       atomic.Uint64
+	msgsIn            atomic.Uint64
+	msgsOut           atomic.Uint64
+	bytesIn           atomic.Uint64
+	bytesOut          atomic.Uint64
+	subscriptions     atomic.Uint64
+	slowDrops         atomic.Uint64
+	slowDisconnects   atomic.Uint64
+	admissionWaits    atomic.Uint64
+	admissionTimeouts atomic.Uint64
+}
+
+// write runs fn (which updates counter fields) inside one seqlock
+// generation.
+func (c *counters) write(fn func()) {
+	c.mu.Lock()
+	c.seq.Add(1)
+	fn()
+	c.seq.Add(1)
+	c.mu.Unlock()
 }
 
 // options collects server tuning knobs; all have workable defaults.
 type options struct {
-	seed        int64
-	hasSeed     bool
-	shards      int
-	queueFrames int
-	queueBytes  int64
-	slowPolicy  SlowConsumerPolicy
+	seed             int64
+	hasSeed          bool
+	shards           int
+	queueFrames      int
+	queueBytes       int64
+	slowPolicy       SlowConsumerPolicy
+	admissionBytes   int64
+	admissionTimeout time.Duration
+	legacy           bool
 }
 
 // Option configures a Server at construction time.
@@ -123,12 +170,42 @@ func WithSlowConsumerPolicy(p SlowConsumerPolicy) Option {
 	return func(o *options) { o.slowPolicy = p }
 }
 
+// WithPublishAdmission sets the publish-admission window: readers park
+// before routing while more than maxBytes of accepted frames are queued
+// server-wide, for at most timeout per batch (then proceed, counted in
+// ServerStats.AdmissionTimeouts). maxBytes < 0 disables admission; zero
+// values keep the defaults (32 MiB window, 1s timeout).
+func WithPublishAdmission(maxBytes int64, timeout time.Duration) Option {
+	return func(o *options) {
+		if maxBytes < 0 {
+			o.admissionBytes = -1
+		} else if maxBytes > 0 {
+			o.admissionBytes = maxBytes
+		}
+		if timeout > 0 {
+			o.admissionTimeout = timeout
+		}
+	}
+}
+
+// WithLegacyDataPlane selects the PR 7/PR 8 delivery path: per-publish
+// routing (no ingest batching), per-delivery copies into a bufio.Writer
+// (no writev, no zero-copy), and no publish admission. It exists so
+// tests can pin wire byte-identity against the old path and so the fleet
+// harness can measure the data-plane overhaul like-for-like in one tree;
+// it is not meant for production serving.
+func WithLegacyDataPlane() Option {
+	return func(o *options) { o.legacy = true }
+}
+
 // Server is the broker. Create with NewServer, start with Serve or
 // ListenAndServe, stop with Shutdown.
 type Server struct {
 	opts   options
 	shards []*shard
 	stats  counters
+	adm    *admission // nil when admission is disabled
+	quit   chan struct{}
 
 	// numSubs is the live logical subscription count (a wildcard-first
 	// pattern is stored in every shard but counts once).
@@ -153,10 +230,12 @@ type serverSub struct {
 // NewServer returns an idle broker.
 func NewServer(opts ...Option) *Server {
 	o := options{
-		shards:      8,
-		queueFrames: defaultQueueFrames,
-		queueBytes:  defaultQueueBytes,
-		slowPolicy:  SlowConsumerDisconnect,
+		shards:           8,
+		queueFrames:      defaultQueueFrames,
+		queueBytes:       defaultQueueBytes,
+		slowPolicy:       SlowConsumerDisconnect,
+		admissionBytes:   defaultAdmissionBytes,
+		admissionTimeout: defaultAdmissionTimeout,
 	}
 	for _, fn := range opts {
 		fn(&o)
@@ -177,6 +256,10 @@ func NewServer(opts ...Option) *Server {
 		shards:  make([]*shard, o.shards),
 		clients: make(map[*serverClient]struct{}),
 		done:    make(chan struct{}),
+		quit:    make(chan struct{}),
+	}
+	if o.admissionBytes > 0 && !o.legacy {
+		s.adm = &admission{limit: o.admissionBytes}
 	}
 	for i := range s.shards {
 		s.shards[i] = newShard(o.seed + int64(i))
@@ -242,12 +325,17 @@ func (s *Server) startClient(conn net.Conn) *serverClient {
 	}
 	s.nextCID++
 	c := &serverClient{srv: s, conn: conn, id: s.nextCID, subs: make(map[string][]*serverSub)}
-	c.out.init(s.opts.queueFrames, s.opts.queueBytes)
+	c.out.init(s.opts.queueFrames, s.opts.queueBytes, s.adm)
 	s.clients[c] = struct{}{}
 	s.mu.Unlock()
-	s.stats.connections.Add(1)
+	st := &s.stats
+	st.write(func() { st.connections.Add(1) })
 	go c.run()
-	go writeLoop(conn, &c.out)
+	if s.opts.legacy {
+		go writeLoopLegacy(conn, &c.out)
+	} else {
+		go writeLoop(conn, &c.out, s.adm)
+	}
 	return c
 }
 
@@ -259,6 +347,7 @@ func (s *Server) Shutdown() {
 		return
 	}
 	s.shutdown = true
+	close(s.quit) // wake any publisher parked on admission
 	ln := s.ln
 	var conns []net.Conn
 	for c := range s.clients {
@@ -274,17 +363,31 @@ func (s *Server) Shutdown() {
 	}
 }
 
-// Stats returns a snapshot of the broker counters.
+// Stats returns an internally consistent snapshot of the broker
+// counters: the seqlock retry guarantees all fields belong to the same
+// update generation (no torn reads across counters mid-publish).
 func (s *Server) Stats() ServerStats {
-	return ServerStats{
-		Connections:             s.stats.connections.Load(),
-		MsgsIn:                  s.stats.msgsIn.Load(),
-		MsgsOut:                 s.stats.msgsOut.Load(),
-		BytesIn:                 s.stats.bytesIn.Load(),
-		BytesOut:                s.stats.bytesOut.Load(),
-		Subscriptions:           s.stats.subscriptions.Load(),
-		SlowConsumerDrops:       s.stats.slowDrops.Load(),
-		SlowConsumerDisconnects: s.stats.slowDisconnects.Load(),
+	c := &s.stats
+	for {
+		s1 := c.seq.Load()
+		if s1&1 == 0 {
+			snap := ServerStats{
+				Connections:             c.connections.Load(),
+				MsgsIn:                  c.msgsIn.Load(),
+				MsgsOut:                 c.msgsOut.Load(),
+				BytesIn:                 c.bytesIn.Load(),
+				BytesOut:                c.bytesOut.Load(),
+				Subscriptions:           c.subscriptions.Load(),
+				SlowConsumerDrops:       c.slowDrops.Load(),
+				SlowConsumerDisconnects: c.slowDisconnects.Load(),
+				AdmissionWaits:          c.admissionWaits.Load(),
+				AdmissionTimeouts:       c.admissionTimeouts.Load(),
+			}
+			if c.seq.Load() == s1 {
+				return snap
+			}
+		}
+		runtime.Gosched()
 	}
 }
 
@@ -293,68 +396,109 @@ func (s *Server) NumSubscriptions() int {
 	return int(s.numSubs.Load())
 }
 
-// route delivers a message to every matching subscription; queue-group
-// subscriptions receive one copy per group, on a member chosen by the
-// shard's seeded rng. Only the subject's shard lock is held.
-func (s *Server) route(subject, payload []byte) {
-	sh := s.shards[shardIndexBytes(subject, len(s.shards))]
-	sh.mu.Lock()
-	rs := sh.matchBytes(subject)
-	out := 0
-	for _, sub := range rs.plain {
-		if sub.client.sendMsg(subject, sub.sid, payload) {
-			out++
-		}
+// admitPublishes applies publish admission before a batch is routed:
+// park (off every lock) while the outstanding-bytes gauge is over the
+// window, for at most the configured timeout.
+func (s *Server) admitPublishes() {
+	a := s.adm
+	if a == nil || !a.over() {
+		return
 	}
-	for _, members := range rs.queues {
-		pick := members[sh.rng.Intn(len(members))]
-		if pick.client.sendMsg(subject, pick.sid, payload) {
-			out++
-		}
+	st := &s.stats
+	st.write(func() { st.admissionWaits.Add(1) })
+	if !a.wait(s.opts.admissionTimeout, s.quit) {
+		st.write(func() { st.admissionTimeouts.Add(1) })
 	}
-	sh.mu.Unlock()
-	s.stats.msgsIn.Add(1)
-	s.stats.bytesIn.Add(uint64(len(payload)))
-	s.stats.msgsOut.Add(uint64(out))
-	s.stats.bytesOut.Add(uint64(out * len(payload)))
 }
 
-// matchBytes is shard.match keyed by a borrowed byte slice: the cache
-// probe allocates nothing on a hit, and the subject string is only
-// materialized on a miss.
-func (sh *shard) matchBytes(subject []byte) *routeSet {
-	if rs, ok := sh.cache[string(subject)]; ok && rs.gen == sh.gen {
-		return rs
-	}
-	subj := string(subject)
-	rs := &routeSet{gen: sh.gen}
-	collect(sh.root, subj, rs)
-	if len(sh.cache) >= maxCachedSubjects {
-		sh.cache = make(map[string]*routeSet)
-	}
-	sh.cache[subj] = rs
-	return rs
+// pendingPub is one parsed-but-unrouted publish in a reader's ingest
+// batch: the subject lives at [off, off+n) in the client's subject
+// arena, the payload in a refcounted arena buffer (publisher hold).
+type pendingPub struct {
+	off, n int
+	pb     *payloadRef
 }
 
-// shardIndexBytes mirrors shardIndex for a borrowed subject slice.
-func shardIndexBytes(subject []byte, n int) int {
-	end := len(subject)
-	for i := 0; i < end; i++ {
-		if subject[i] == '.' {
-			end = i
-			break
-		}
-	}
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
+// routeBatch delivers a batch of publishes in order. Consecutive
+// messages on the same shard reuse one lock acquisition, consecutive
+// messages on the same subject reuse one match result (valid for the
+// whole run because sub/unsub needs the same shard lock we hold), and
+// the batch's counter updates collapse into a single seqlock write.
+// Queue-group subscriptions receive one copy per group, on a member
+// chosen by the shard's seeded rng.
+func (s *Server) routeBatch(subjArena []byte, batch []pendingPub) {
+	var (
+		sh      *shard
+		shardID = -1
+		rs      *routeSet
+		subject []byte
+
+		msgsOut, bytesOut, bytesIn uint64
+		drops, discs               uint64
 	)
-	h := uint64(offset64)
-	for i := 0; i < end; i++ {
-		h ^= uint64(subject[i])
-		h *= prime64
+	for i := range batch {
+		m := &batch[i]
+		subj := subjArena[m.off : m.off+m.n]
+		idx := shardIndexBytes(subj, len(s.shards))
+		if idx != shardID {
+			if sh != nil {
+				sh.mu.Unlock()
+			}
+			sh = s.shards[idx]
+			sh.mu.Lock()
+			shardID = idx
+			rs, subject = nil, nil
+		}
+		if rs == nil || !bytes.Equal(subj, subject) {
+			rs = sh.matchBytes(subj)
+			subject = subj
+		}
+		pb := m.pb
+		plen := uint64(len(pb.data))
+		for _, sub := range rs.plain {
+			switch sub.client.sendMsg(subj, sub.sid, pb) {
+			case sendOK:
+				msgsOut++
+				bytesOut += plen
+			case sendDrop:
+				drops++
+			case sendDisconnect:
+				discs++
+			}
+		}
+		for _, members := range rs.queues {
+			pick := members[sh.rng.Intn(len(members))]
+			switch pick.client.sendMsg(subj, pick.sid, pb) {
+			case sendOK:
+				msgsOut++
+				bytesOut += plen
+			case sendDrop:
+				drops++
+			case sendDisconnect:
+				discs++
+			}
+		}
+		bytesIn += plen
+		pb.release() // drop the publisher hold
+		m.pb = nil
 	}
-	return int(h % uint64(n))
+	if sh != nil {
+		sh.mu.Unlock()
+	}
+	st := &s.stats
+	n := uint64(len(batch))
+	st.write(func() {
+		st.msgsIn.Add(n)
+		st.bytesIn.Add(bytesIn)
+		st.msgsOut.Add(msgsOut)
+		st.bytesOut.Add(bytesOut)
+		if drops > 0 {
+			st.slowDrops.Add(drops)
+		}
+		if discs > 0 {
+			st.slowDisconnects.Add(discs)
+		}
+	})
 }
 
 func (s *Server) addSub(sub *serverSub) {
@@ -365,7 +509,8 @@ func (s *Server) addSub(sub *serverSub) {
 	s.eachPatternShard(sub.pattern, func(sh *shard) {
 		sh.insert(sub)
 	})
-	s.stats.subscriptions.Add(1)
+	st := &s.stats
+	st.write(func() { st.subscriptions.Add(1) })
 	s.numSubs.Add(1)
 }
 
@@ -418,11 +563,16 @@ func (s *Server) dropClient(c *serverClient) {
 }
 
 type serverClient struct {
-	srv     *Server
-	conn    net.Conn
-	id      uint64
-	out     outQueue
-	subjBuf []byte // publish-subject scratch, reader goroutine only
+	srv  *Server
+	conn net.Conn
+	id   uint64
+	out  outQueue
+
+	// Ingest batch, reader goroutine only: parsed publishes waiting to be
+	// routed, their subjects packed into subjArena.
+	pending      []pendingPub
+	pendingBytes int
+	subjArena    []byte
 
 	smu  sync.Mutex
 	subs map[string][]*serverSub // sid -> subs (duplicate sids allowed)
@@ -430,6 +580,10 @@ type serverClient struct {
 
 func (c *serverClient) run() {
 	defer func() {
+		// Route fully received publishes before teardown — a pipelined
+		// publisher that disconnects right after writing must not lose its
+		// tail (same semantics as the PR 7 route-per-publish path).
+		c.flushPubs()
 		c.srv.dropClient(c)
 		// The writer drains queued replies (-ERR, PONG, trailing MSGs),
 		// flushes, and closes the connection.
@@ -438,6 +592,11 @@ func (c *serverClient) run() {
 	r := bufio.NewReaderSize(c.conn, 64*1024)
 	var fields [8][]byte
 	for {
+		if len(c.pending) > 0 && !completeLineBuffered(r) {
+			// The next read would block (or the buffer holds only a partial
+			// line): route what we have instead of sitting on it.
+			c.flushPubs()
+		}
 		line, err := readLineSlice(r)
 		if err != nil {
 			return
@@ -453,21 +612,59 @@ func (c *serverClient) run() {
 				return
 			}
 		case asciiFold(cmd, "SUB"):
+			c.flushPubs() // strict command order: prior PUBs route first
 			c.handleSub(nf)
 		case asciiFold(cmd, "UNSUB"):
+			c.flushPubs()
 			if len(nf) != 2 {
 				c.sendErr("UNSUB requires <sid>")
 				continue
 			}
 			c.srv.removeSub(c, string(nf[1]))
 		case asciiFold(cmd, "PING"):
+			// PONG is the client's flush barrier: everything sent before the
+			// PING must be fully processed, so route pending publishes first.
+			c.flushPubs()
 			c.sendLine("PONG")
 		case asciiFold(cmd, "CONNECT"):
 			// Name is informational only.
 		default:
+			c.flushPubs()
 			c.sendErr("unknown command " + string(cmd))
 		}
 	}
+}
+
+// completeLineBuffered reports whether r already holds a full
+// CRLF-terminated line, i.e. whether another command can be parsed
+// without blocking. The scan typically ends at the next command's
+// terminator a few dozen bytes in.
+func completeLineBuffered(r *bufio.Reader) bool {
+	n := r.Buffered()
+	if n == 0 {
+		return false
+	}
+	buf, err := r.Peek(n)
+	if err != nil {
+		return false
+	}
+	return bytes.IndexByte(buf, '\n') >= 0
+}
+
+// flushPubs routes the client's pending ingest batch (admission first)
+// and resets the batch buffers.
+func (c *serverClient) flushPubs() {
+	if len(c.pending) == 0 {
+		return
+	}
+	c.srv.admitPublishes()
+	c.srv.routeBatch(c.subjArena, c.pending)
+	for i := range c.pending {
+		c.pending[i].pb = nil
+	}
+	c.pending = c.pending[:0]
+	c.pendingBytes = 0
+	c.subjArena = c.subjArena[:0]
 }
 
 func (c *serverClient) handleSub(fields [][]byte) {
@@ -488,75 +685,115 @@ func (c *serverClient) handleSub(fields [][]byte) {
 	c.srv.addSub(&serverSub{client: c, pattern: pattern, queue: queue, sid: sid})
 }
 
+// handlePub parses one publish into the client's ingest batch. The batch
+// is routed when it hits its size bounds, when the socket has nothing
+// more buffered (see run), or — to preserve command order — before any
+// non-PUB command. A returned error tears the connection down (the
+// stream is unframeable).
 func (c *serverClient) handlePub(fields [][]byte, r *bufio.Reader) error {
 	if len(fields) != 3 {
+		c.flushPubs() // error replies keep command order, like any non-PUB
 		c.sendErr("PUB requires <subject> <nbytes>")
 		return nil
 	}
-	// The subject slice borrows the reader's buffer, which the payload
-	// read below may refill — copy it into the client's scratch first.
-	c.subjBuf = append(c.subjBuf[:0], fields[1]...)
-	subject := c.subjBuf
 	n, ok := parseSize(fields[2])
 	if !ok {
+		c.flushPubs()
 		c.sendErr("bad payload size")
 		return errors.New("broker: bad payload size")
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
+	if len(c.pending) > 0 && r.Buffered() < n+2 {
+		// The payload read below will block on the socket; route what we
+		// already have first so batching never delays delivery.
+		c.flushPubs()
+	}
+	// The subject slice borrows the reader's buffer, which the payload
+	// read below may refill — pack it into the batch's subject arena
+	// first.
+	subjOff := len(c.subjArena)
+	c.subjArena = append(c.subjArena, fields[1]...)
+	pb := arenaGet(n)
+	if _, err := io.ReadFull(r, pb.data); err != nil {
+		pb.release()
+		c.subjArena = c.subjArena[:subjOff]
 		return err
 	}
 	if err := consumeCRLF(r); err != nil {
+		pb.release()
+		c.subjArena = c.subjArena[:subjOff]
 		return err
 	}
+	subject := c.subjArena[subjOff:]
 	if !validSubjectBytes(subject) {
-		if err := ValidateSubject(string(subject)); err != nil {
+		pb.release()
+		bad := string(subject)
+		c.subjArena = c.subjArena[:subjOff]
+		c.flushPubs()
+		if err := ValidateSubject(bad); err != nil {
 			c.sendErr(err.Error())
 		} else {
 			c.sendErr("invalid subject")
 		}
 		return nil
 	}
-	c.srv.route(subject, payload)
+	c.pending = append(c.pending, pendingPub{off: subjOff, n: len(subject), pb: pb})
+	c.pendingBytes += n
+	if len(c.pending) >= maxIngestBatch || c.pendingBytes >= maxIngestBytes || c.srv.opts.legacy {
+		c.flushPubs()
+	}
 	return nil
 }
 
+// sendResult is the outcome of offering one delivery to a client.
+type sendResult int
+
+const (
+	sendOK sendResult = iota
+	sendClosed
+	sendDrop
+	sendDisconnect
+)
+
 // sendMsg enqueues one delivery; the frame header is pooled and the
-// payload slice is shared across the whole fan-out. Reports whether the
-// frame was accepted.
-func (c *serverClient) sendMsg(subject []byte, sid string, payload []byte) bool {
-	f := outFrame{header: encodeMsgHeader(subject, sid, len(payload)), payload: payload}
+// frame takes one reference on the shared fan-out payload. The reference
+// is taken before enqueue — the writer may drain and release the frame
+// the instant enqueue returns — and given back on rejection (which can
+// never reach zero: the caller still holds the publisher reference).
+func (c *serverClient) sendMsg(subject []byte, sid string, pb *payloadRef) sendResult {
+	f := outFrame{hdr: encodeMsgHeader(subject, sid, len(pb.data)), payload: pb.data, pb: pb}
+	pb.retain()
 	switch c.out.enqueue(f) {
 	case enqOK:
-		return true
+		return sendOK
 	case enqClosed:
-		putHeaderBuf(f.header)
-		return false
+		putHeaderBuf(f.hdr)
+		pb.release()
+		return sendClosed
 	default: // overflow: apply the slow-consumer policy
-		putHeaderBuf(f.header)
+		putHeaderBuf(f.hdr)
+		pb.release()
 		if c.srv.opts.slowPolicy == SlowConsumerDrop {
-			c.srv.stats.slowDrops.Add(1)
-			return false
+			return sendDrop
 		}
-		c.srv.stats.slowDisconnects.Add(1)
 		c.out.discard()
 		c.conn.Close()
-		return false
+		return sendDisconnect
 	}
 }
 
 func (c *serverClient) sendLine(line string) {
-	f := outFrame{header: encodeLine(line)}
+	f := outFrame{hdr: encodeLine(line)}
 	if c.out.enqueue(f) != enqOK {
-		putHeaderBuf(f.header)
+		putHeaderBuf(f.hdr)
 	}
 }
 
 func (c *serverClient) sendErr(msg string) { c.sendLine("-ERR " + msg) }
 
 // encodeMsgHeader appends "MSG <subject> <sid> <n>\r\n" to a pooled buf.
-func encodeMsgHeader(subject []byte, sid string, n int) []byte {
-	b := getHeaderBuf()
+func encodeMsgHeader(subject []byte, sid string, n int) *headerBuf {
+	h := getHeaderBuf()
+	b := h.b
 	b = append(b, "MSG "...)
 	b = append(b, subject...)
 	b = append(b, ' ')
@@ -564,7 +801,8 @@ func encodeMsgHeader(subject []byte, sid string, n int) []byte {
 	b = append(b, ' ')
 	b = strconv.AppendInt(b, int64(n), 10)
 	b = append(b, '\r', '\n')
-	return b
+	h.b = b
+	return h
 }
 
 // readLineSlice returns the next CRLF- (or LF-) terminated line without

@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"bytes"
 	"math/rand"
 	"sort"
 	"strings"
@@ -77,6 +78,26 @@ func shardIndex(subjectOrPattern string, n int) int {
 	}
 	if tok == "*" || tok == ">" {
 		return -1
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(tok); i++ {
+		h ^= uint64(tok[i])
+		h *= prime64
+	}
+	return int(h % uint64(n))
+}
+
+// shardIndexBytes is shardIndex for the publish hot path: concrete
+// subjects cannot start with a wildcard token (validated at ingest), so
+// it always lands on one shard and never allocates.
+func shardIndexBytes(subject []byte, n int) int {
+	tok := subject
+	if i := bytes.IndexByte(tok, '.'); i >= 0 {
+		tok = tok[:i]
 	}
 	const (
 		offset64 = 14695981039346656037
@@ -201,6 +222,25 @@ func (sh *shard) match(subject string) *routeSet {
 		sh.cache = make(map[string]*routeSet)
 	}
 	sh.cache[subject] = rs
+	return rs
+}
+
+// matchBytes is match for the publish hot path: the cache probe uses the
+// compiler's map[string]lookup-by-[]byte optimization, so a cache hit —
+// the overwhelmingly common case in steady state — allocates nothing.
+// Only a rebuild materializes the subject as a string (for collect and
+// the cache key). Caller holds sh.mu.
+func (sh *shard) matchBytes(subject []byte) *routeSet {
+	if rs, ok := sh.cache[string(subject)]; ok && rs.gen == sh.gen {
+		return rs
+	}
+	subj := string(subject)
+	rs := &routeSet{gen: sh.gen}
+	collect(sh.root, subj, rs)
+	if len(sh.cache) >= maxCachedSubjects {
+		sh.cache = make(map[string]*routeSet)
+	}
+	sh.cache[subj] = rs
 	return rs
 }
 
