@@ -12,6 +12,7 @@
 //	adamant-fleet -groups 1000,10000,100000 -payloads 16,128,1024
 //	adamant-fleet -compare -v                  # include the seed speedup section
 //	adamant-fleet -groups 200 -budget 100000   # quick smoke cell
+//	adamant-fleet -mesh -mesh-brokers 3 -mesh-groups 1000  # cross-broker cells
 package main
 
 import (
@@ -50,6 +51,12 @@ type fleetReport struct {
 	// with -ll): the offered-rate ladder walked to the saturation knee
 	// on both data planes.
 	LoadLatency *loadLatency `json:"load_latency,omitempty"`
+
+	// Mesh is the cross-broker federation section (present only with
+	// -mesh): publisher pinned to broker 0 of an in-process full mesh,
+	// subscribers split across the remaining brokers, so every delivery
+	// crosses one inter-broker route.
+	Mesh []fleet.MeshResult `json:"mesh,omitempty"`
 
 	// Sweep is the fan-out grid: one cell per group size x payload size
 	// x publish rate.
@@ -101,6 +108,12 @@ func main() {
 		llSeconds = flag.Float64("ll-seconds", 1.0, "load-latency: measured seconds per ladder point")
 		llKneeMs  = flag.Float64("ll-knee-ms", 100, "load-latency: p99 bound that marks the saturation knee")
 		llRepeats = flag.Int("ll-repeats", 3, "load-latency: repeats per ladder point (best p99 kept)")
+
+		mesh        = flag.Bool("mesh", false, "run the cross-broker mesh cells (publisher and subscribers on different brokers)")
+		meshBrokers = flag.Int("mesh-brokers", 3, "mesh: broker count (publisher on broker 0, subscribers on the rest)")
+		meshGroups  = flag.String("mesh-groups", "1000", "mesh: total subscriber counts (comma list)")
+		meshPayload = flag.Int("mesh-payload", 128, "mesh: payload bytes")
+		meshRates   = flag.String("mesh-rates", "0,2000", "mesh: publish rates in Hz, 0 = unpaced (comma list)")
 	)
 	flag.Parse()
 
@@ -139,7 +152,9 @@ func main() {
 			"report unsustained load. Unpaced cells (rate_hz 0) are closed-loop " +
 			"throughput probes: stamps are actual send times, internal queueing " +
 			"appears as latency, and their percentiles must not be read as " +
-			"service latency under load — use the load_latency section for that.",
+			"service latency under load — use the load_latency section for that. " +
+			"Mesh cells add one in-process inter-broker route hop to every " +
+			"delivery (publisher on broker 0, subscribers on the rest).",
 	}
 
 	if *compare {
@@ -206,6 +221,41 @@ func main() {
 		}
 		progress("load-latency: paced p99 speedup %.1fx at %d Hz", sec.PacedP99SpeedupX, sec.SpeedupAtRateHz)
 		rep.LoadLatency = sec
+	}
+
+	if *mesh {
+		meshGroupList, err := parseIntList(*meshGroups)
+		if err != nil {
+			fatal("-mesh-groups: %v", err)
+		}
+		meshRateList, err := parseIntList(*meshRates)
+		if err != nil {
+			fatal("-mesh-rates: %v", err)
+		}
+		for _, g := range meshGroupList {
+			for _, r := range meshRateList {
+				msgs := max(*budget/g, *minMsgs)
+				progress("mesh cell: brokers=%d group=%d payload=%dB rate=%dHz msgs=%d",
+					*meshBrokers, g, *meshPayload, r, msgs)
+				res, err := fleet.RunMesh(fleet.MeshConfig{
+					Brokers:      *meshBrokers,
+					Subscribers:  g,
+					Conns:        *conns,
+					PayloadBytes: *meshPayload,
+					Messages:     msgs,
+					RateHz:       r,
+					Seed:         *seed,
+					Shards:       *shards,
+				})
+				if err != nil {
+					fatal("mesh cell brokers=%d group=%d rate=%d: %v", *meshBrokers, g, r, err)
+				}
+				progress("  %.0f deliveries/s, p50 %.3fms p99 %.3fms (%d routed, %d dups suppressed, %d dropped)",
+					res.DeliveriesPerSec, res.LatencyP50Ms, res.LatencyP99Ms,
+					res.RoutedMsgs, res.DupsSuppressed, res.Dropped)
+				rep.Mesh = append(rep.Mesh, res)
+			}
+		}
 	}
 
 	for _, g := range groupList {

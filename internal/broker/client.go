@@ -190,15 +190,40 @@ func (c *Client) Flush(timeout time.Duration) error {
 	if err := c.sendLine("PING"); err != nil {
 		return err
 	}
+	// Reuse pooled timers instead of time.After: a fleet doing a flush
+	// barrier per publish batch would otherwise allocate a timer (and
+	// leave it live until it fires) on every call.
+	t := flushTimers.Get().(*time.Timer)
+	t.Reset(timeout)
+	defer func() {
+		if !t.Stop() {
+			select {
+			case <-t.C:
+			default:
+			}
+		}
+		flushTimers.Put(t)
+	}()
 	select {
 	case <-ch:
 		return nil
-	case <-time.After(timeout):
+	case <-t.C:
 		return errors.New("broker: flush timeout")
 	case <-c.done:
 		return c.err()
 	}
 }
+
+// flushTimers pools stopped, drained timers for Flush. A pool (rather
+// than one timer per client) keeps concurrent Flush calls on the same
+// client correct.
+var flushTimers = sync.Pool{New: func() any {
+	t := time.NewTimer(time.Hour)
+	if !t.Stop() {
+		<-t.C
+	}
+	return t
+}}
 
 // ErrClientClosed is returned by operations on a closed client.
 var ErrClientClosed = errors.New("broker: client closed")

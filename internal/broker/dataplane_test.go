@@ -358,6 +358,7 @@ func TestDeliveryAllocs(t *testing.T) {
 	subj := []byte("alloc.bench")
 	const batchN = 16
 	pending := make([]pendingPub, batchN)
+	var fwd fwdScratch
 	var drain []outFrame
 	run := func() {
 		for i := range pending {
@@ -367,7 +368,7 @@ func TestDeliveryAllocs(t *testing.T) {
 			}
 			pending[i] = pendingPub{off: 0, n: len(subj), pb: pb}
 		}
-		s.routeBatch(subj, pending)
+		s.routeBatch(subj, pending, &fwd)
 		for _, c := range clients {
 			for c.out.pending() {
 				drain, _ = c.out.take(drain[:0], maxDrainFrames)

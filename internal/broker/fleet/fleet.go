@@ -242,70 +242,12 @@ func Run(cfg Config) (Result, error) {
 	}
 
 	expected := uint64(cfg.Messages) * uint64(cfg.Subscribers)
-	var maxLag time.Duration
-	crlfTail := []byte("\r\n")
 	start := time.Now()
-	if interval > 0 {
-		// Open loop: every stamp is the message's *intended* send time
-		// (start + i*interval). If a flush blocks on broker backpressure
-		// the next batch goes out late and delivery latency grows by
-		// exactly the lag, instead of the sample silently moving to a
-		// later window. Sends are quantized to the pacing quantum (see
-		// minPaceTick): each wake flushes every message due by now.
-		quantum := interval
-		if quantum < minPaceTick {
-			quantum = minPaceTick
-		}
-		for i := 0; i < cfg.Messages; {
-			next := start.Add(time.Duration(i) * interval)
-			if d := time.Until(next); d > 0 {
-				time.Sleep(d)
-			}
-			now := time.Now()
-			due := int(now.Sub(start)/interval) + 1
-			if due > cfg.Messages {
-				due = cfg.Messages
-			}
-			if due <= i {
-				due = i + 1
-			}
-			for ; i < due; i++ {
-				next = start.Add(time.Duration(i) * interval)
-				if lag := now.Sub(next); lag > 0 {
-					if lag > maxLag {
-						maxLag = lag
-					}
-					if lag > quantum {
-						res.BehindSchedule++
-					}
-				}
-				binary.LittleEndian.PutUint64(payload, uint64(next.UnixNano()))
-				pw.Write(header)
-				pw.Write(payload)
-				pw.Write(crlfTail)
-			}
-			// One flush per quantum: the batch reaches the wire together,
-			// which is exactly the shape the broker's batched ingest path
-			// (and the legacy one-at-a-time path) must absorb.
-			if err := pw.Flush(); err != nil {
-				return res, err
-			}
-		}
-	} else {
-		for i := 0; i < cfg.Messages; i++ {
-			// Unpaced: no schedule exists, so stamp the actual send time
-			// (closed loop — see Result.OpenLoop).
-			binary.LittleEndian.PutUint64(payload, uint64(time.Now().UnixNano()))
-			pw.Write(header)
-			pw.Write(payload)
-			pw.Write(crlfTail)
-			// Flush per publish: a buffered batch would stamp timestamps
-			// long before the bytes reach the wire and flatter latency.
-			if err := pw.Flush(); err != nil {
-				return res, err
-			}
-		}
+	behind, maxLag, err := publishTimestamped(pw, header, payload, cfg.Messages, interval, start)
+	if err != nil {
+		return res, err
 	}
+	res.BehindSchedule = behind
 	res.MaxSendLagMs = float64(maxLag) / 1e6
 
 	// Completion: every expected delivery accounted for, received or
@@ -345,6 +287,73 @@ func Run(cfg Config) (Result, error) {
 	res.LatencyP999Ms = float64(hist.Quantile(0.999)) / 1e6
 	res.LatencyMaxMs = float64(hist.Max()) / 1e6
 	return res, nil
+}
+
+// publishTimestamped drives one publisher connection (shared by the
+// single-broker and mesh harnesses). With interval > 0 it runs open
+// loop: every stamp is the message's *intended* send time
+// (start + i*interval). If a flush blocks on broker backpressure the
+// next batch goes out late and delivery latency grows by exactly the
+// lag, instead of the sample silently moving to a later window. Sends
+// are quantized to max(interval, minPaceTick): each wake flushes every
+// message due by now, so the batch reaches the wire together — exactly
+// the shape the broker's batched ingest path must absorb. behind counts
+// publishes more than one quantum late (genuine backpressure), maxLag
+// the worst lag. With interval == 0 there is no schedule: stamp actual
+// send time and flush per publish (closed loop — a buffered batch would
+// stamp timestamps long before the bytes reach the wire and flatter
+// latency).
+func publishTimestamped(pw *bufio.Writer, header, payload []byte, messages int, interval time.Duration, start time.Time) (behind uint64, maxLag time.Duration, err error) {
+	crlfTail := []byte("\r\n")
+	if interval <= 0 {
+		for i := 0; i < messages; i++ {
+			binary.LittleEndian.PutUint64(payload, uint64(time.Now().UnixNano()))
+			pw.Write(header)
+			pw.Write(payload)
+			pw.Write(crlfTail)
+			if err := pw.Flush(); err != nil {
+				return behind, maxLag, err
+			}
+		}
+		return behind, maxLag, nil
+	}
+	quantum := interval
+	if quantum < minPaceTick {
+		quantum = minPaceTick
+	}
+	for i := 0; i < messages; {
+		next := start.Add(time.Duration(i) * interval)
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		now := time.Now()
+		due := int(now.Sub(start)/interval) + 1
+		if due > messages {
+			due = messages
+		}
+		if due <= i {
+			due = i + 1
+		}
+		for ; i < due; i++ {
+			next = start.Add(time.Duration(i) * interval)
+			if lag := now.Sub(next); lag > 0 {
+				if lag > maxLag {
+					maxLag = lag
+				}
+				if lag > quantum {
+					behind++
+				}
+			}
+			binary.LittleEndian.PutUint64(payload, uint64(next.UnixNano()))
+			pw.Write(header)
+			pw.Write(payload)
+			pw.Write(crlfTail)
+		}
+		if err := pw.Flush(); err != nil {
+			return behind, maxLag, err
+		}
+	}
+	return behind, maxLag, nil
 }
 
 // fleetReader drains one multiplexed connection: it counts MSG frames,

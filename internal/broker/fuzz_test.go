@@ -76,6 +76,68 @@ func FuzzServerCommand(f *testing.F) {
 	})
 }
 
+// FuzzRouteCommand feeds arbitrary bytes to the inter-broker protocol
+// parser: a connection that upgrades via ROUTE and then speaks
+// RS+/RS-/RMSG/RINFO/PING, including malformed handshakes, truncated
+// origin-tagged payloads, self-origin frames (dedup suppression), and
+// interest churn. The server must neither panic nor wedge, and teardown
+// must withdraw whatever interest the fuzzed peer installed.
+func FuzzRouteCommand(f *testing.F) {
+	f.Add([]byte("ROUTE peer1 -\r\nRS+ a.b\r\nRMSG a.b peer1 2\r\nhi\r\nRS- a.b\r\nPING\r\n"))
+	f.Add([]byte("ROUTE peer1 127.0.0.1:0\r\nRINFO peer2 127.0.0.1:1\r\nPONG\r\n"))
+	f.Add([]byte("ROUTE fuzz -\r\nRS+ jobs.* workers\r\nRMSG jobs.x fuzz 3 workers\r\nabc\r\n"))
+	f.Add([]byte("ROUTE fuzz -\r\nRMSG a fuzz notanumber\r\n"))                            // unframeable size
+	f.Add([]byte("ROUTE fuzz -\r\nRMSG a fuzz 10\r\nshort"))                               // truncated payload
+	f.Add([]byte("ROUTE fuzz -\r\nRMSG .bad. fuzz 1\r\nq\r\nPING\r\n"))                    // invalid subject
+	f.Add([]byte("ROUTE srv-under-test -\r\nRMSG a srv-under-test 1\r\nx\r\n"))            // self-origin echo
+	f.Add([]byte("ROUTE fuzz -\r\nROUTE fuzz2 -\r\nRS+ a\r\nRS+ a\r\nRS- a\r\nRS- a\r\n")) // dup handshake + idempotence
+	f.Add([]byte("ROUTE\r\n"))                                                             // malformed handshake
+	f.Add([]byte("SUB a 1\r\nROUTE fuzz -\r\nRS+ a\r\n"))                                  // client subs then upgrade
+	f.Add([]byte("route fuzz -\r\nrs+ a.>\r\nrmsg a.x fuzz 0\r\n\r\nBOGUS\r\n"))
+	f.Add([]byte("ROUTE fuzz -\r\nRS+ a..b\r\nRS+\r\nRMSG a fuzz\r\n")) // bad pattern + arity
+	f.Fuzz(func(t *testing.T, data []byte) {
+		srv := NewServer(WithSeed(1), WithShards(2), WithWriteQueue(64, 1<<20),
+			WithServerID("srv-under-test"))
+		defer srv.Shutdown()
+		server, client := net.Pipe()
+		if srv.startClient(server) == nil {
+			t.Fatal("startClient refused pipe")
+		}
+		drained := make(chan struct{})
+		go func() {
+			defer close(drained)
+			buf := make([]byte, 4096)
+			for {
+				if _, err := client.Read(buf); err != nil {
+					return
+				}
+			}
+		}()
+		client.SetWriteDeadline(time.Now().Add(2 * time.Second))
+		_, _ = client.Write(data)
+		client.Close()
+		select {
+		case <-drained:
+		case <-time.After(5 * time.Second):
+			t.Fatal("server never closed the route connection")
+		}
+		// Teardown must leave no trace of the fuzzed peer: its interest
+		// withdrawn and the route deregistered.
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			st := srv.Stats()
+			if st.Routes == 0 && st.RemoteSubs == 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("fuzzed route left state behind: %d routes, %d remote subs",
+					st.Routes, st.RemoteSubs)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	})
+}
+
 // FuzzValidatePattern asserts validation is total and consistent: every
 // valid publish subject is also a valid subscription pattern.
 func FuzzValidatePattern(f *testing.F) {

@@ -1,6 +1,7 @@
 // Package broker implements a NATS-style TCP publish/subscribe broker and
 // client: subject-based routing with '*'/'>' wildcards and queue groups
-// over a line-oriented protocol.
+// over a line-oriented protocol, federated across brokers by inter-broker
+// routes with subject-interest propagation.
 //
 // The broker plays two roles in this repository. It is the "conventional
 // cloud pub/sub" contrast the paper draws (JMS/WS-Notification-class
@@ -20,6 +21,13 @@
 // paces unpaced publishers instead of letting internal queues grow into
 // seconds of latency.
 //
+// Every connection — client or inter-broker route — is built on the same
+// link substrate (link.go): framed reader, arena payloads, bounded
+// outbound queue, vectored writer. Federation (route.go) adds a ROUTE
+// handshake, RS+/RS- interest propagation, origin-tagged RMSG forwarding
+// with one-hop dedup, and gossip membership with heartbeat failure
+// detection.
+//
 // Wire protocol (text, CRLF-terminated control lines):
 //
 //	C->S: CONNECT <name>
@@ -29,19 +37,24 @@
 //	C->S: PING               S->C: PONG
 //	S->C: MSG <subject> <sid> <nbytes>\r\n<payload>
 //	S->C: -ERR <message>
+//
+// Inter-broker route protocol (route.go):
+//
+//	B->B: ROUTE <serverID> <clusterAddr>
+//	B->B: RS+ <pattern> [queue]     RS- <pattern> [queue]
+//	B->B: RMSG <subject> <origin> <nbytes> [queue...]\r\n<payload>
+//	B->B: RINFO <serverID> <clusterAddr>
+//	B->B: PING / PONG
 package broker
 
 import (
-	"bufio"
 	"bytes"
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"os"
 	"runtime"
 	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -82,6 +95,17 @@ type ServerStats struct {
 	// proceeded (see admission.go for why the wait is bounded).
 	AdmissionWaits    uint64
 	AdmissionTimeouts uint64
+
+	// Federation counters (route.go). Routes is the number of live
+	// inter-broker routes (a gauge); RemoteSubs is the number of remote
+	// interest entries currently installed by peers (a gauge); RoutedMsgs
+	// counts RMSG frames forwarded to peers; DupsSuppressed counts
+	// inbound routed frames dropped by the origin-tag dedup rule (our own
+	// origin echoed back, i.e. a loop a misconfigured mesh would create).
+	Routes         uint64
+	RemoteSubs     uint64
+	RoutedMsgs     uint64
+	DupsSuppressed uint64
 }
 
 // counters is the seqlock-guarded stats block. Writers (routeBatch and
@@ -104,6 +128,10 @@ type counters struct {
 	slowDisconnects   atomic.Uint64
 	admissionWaits    atomic.Uint64
 	admissionTimeouts atomic.Uint64
+	routes            atomic.Uint64
+	remoteSubs        atomic.Uint64
+	routedMsgs        atomic.Uint64
+	dupsSuppressed    atomic.Uint64
 }
 
 // write runs fn (which updates counter fields) inside one seqlock
@@ -127,6 +155,11 @@ type options struct {
 	admissionBytes   int64
 	admissionTimeout time.Duration
 	legacy           bool
+
+	id          string
+	clusterAddr string
+	hbInterval  time.Duration
+	hbSuspect   time.Duration
 }
 
 // Option configures a Server at construction time.
@@ -198,10 +231,47 @@ func WithLegacyDataPlane() Option {
 	return func(o *options) { o.legacy = true }
 }
 
+// WithServerID fixes the broker's server ID, the identity used in the
+// ROUTE handshake and stamped as the origin tag on every forwarded RMSG.
+// IDs must be unique across a mesh and contain no whitespace; the
+// default is unique per process+instance.
+func WithServerID(id string) Option {
+	return func(o *options) {
+		if id != "" {
+			o.id = id
+		}
+	}
+}
+
+// WithClusterAdvertise sets the address gossiped to peers (RINFO) as
+// this broker's route-reachable endpoint. Without it the broker does not
+// advertise itself: explicitly configured routes still work, but other
+// brokers cannot auto-discover this one.
+func WithClusterAdvertise(addr string) Option {
+	return func(o *options) { o.clusterAddr = addr }
+}
+
+// WithRouteHeartbeat tunes route failure detection: a PING is sent on
+// every route each interval, and a route silent for longer than suspect
+// is declared dead and torn down (withdrawing the peer's interest).
+// Defaults: 500ms interval, 4x interval suspect bound.
+func WithRouteHeartbeat(interval, suspect time.Duration) Option {
+	return func(o *options) {
+		if interval > 0 {
+			o.hbInterval = interval
+		}
+		if suspect > 0 {
+			o.hbSuspect = suspect
+		}
+	}
+}
+
 // Server is the broker. Create with NewServer, start with Serve or
-// ListenAndServe, stop with Shutdown.
+// ListenAndServe, stop with Shutdown (abrupt) or DrainShutdown
+// (graceful: queued deliveries are flushed first).
 type Server struct {
 	opts   options
+	id     string
 	shards []*shard
 	stats  counters
 	adm    *admission // nil when admission is disabled
@@ -211,8 +281,19 @@ type Server struct {
 	// pattern is stored in every shard but counts once).
 	numSubs atomic.Int64
 
+	// Federation state (route.go): live routes by peer server ID, the
+	// refcounted local interest set propagated to peers, and the set of
+	// route targets being dialed. All guarded by fedMu; fedMu is never
+	// held together with a shard lock.
+	fedMu         sync.Mutex
+	routes        map[string]*route
+	localInterest map[interestKey]int
+	dialing       map[string]bool
+	monitorOn     bool
+
 	mu       sync.Mutex
 	ln       net.Listener
+	routeLns []net.Listener
 	clients  map[*serverClient]struct{}
 	nextCID  uint64
 	shutdown bool
@@ -220,12 +301,25 @@ type Server struct {
 	doneOnce sync.Once
 }
 
+// interestKey identifies one propagated (pattern, queue) interest.
+type interestKey struct {
+	pattern string
+	queue   string
+}
+
+// serverSub is one subscription entry in the routing trie: either a
+// local client subscription (client set) or a peer broker's propagated
+// interest (rt set). Exactly one of client/rt is non-nil.
 type serverSub struct {
 	client  *serverClient
+	rt      *route
 	pattern string
 	queue   string
 	sid     string
 }
+
+// serverIDSeq disambiguates default server IDs within one process.
+var serverIDSeq atomic.Uint64
 
 // NewServer returns an idle broker.
 func NewServer(opts ...Option) *Server {
@@ -236,6 +330,9 @@ func NewServer(opts ...Option) *Server {
 		slowPolicy:       SlowConsumerDisconnect,
 		admissionBytes:   defaultAdmissionBytes,
 		admissionTimeout: defaultAdmissionTimeout,
+		clusterAddr:      "-",
+		hbInterval:       defaultRouteHeartbeat,
+		hbSuspect:        defaultRouteSuspect,
 	}
 	for _, fn := range opts {
 		fn(&o)
@@ -251,12 +348,25 @@ func NewServer(opts ...Option) *Server {
 	if !o.hasSeed {
 		o.seed = time.Now().UnixNano()
 	}
+	if o.id == "" {
+		// Unique within the process via the counter, across processes
+		// (overwhelmingly) via the clock. WithServerID pins it for tests
+		// and multi-host meshes.
+		o.id = fmt.Sprintf("s%x.%x", uint64(time.Now().UnixNano())&0xffffffff, serverIDSeq.Add(1))
+	}
+	if o.clusterAddr == "" {
+		o.clusterAddr = "-"
+	}
 	s := &Server{
-		opts:    o,
-		shards:  make([]*shard, o.shards),
-		clients: make(map[*serverClient]struct{}),
-		done:    make(chan struct{}),
-		quit:    make(chan struct{}),
+		opts:          o,
+		id:            o.id,
+		shards:        make([]*shard, o.shards),
+		clients:       make(map[*serverClient]struct{}),
+		routes:        make(map[string]*route),
+		localInterest: make(map[interestKey]int),
+		dialing:       make(map[string]bool),
+		done:          make(chan struct{}),
+		quit:          make(chan struct{}),
 	}
 	if o.admissionBytes > 0 && !o.legacy {
 		s.adm = &admission{limit: o.admissionBytes}
@@ -266,6 +376,9 @@ func NewServer(opts ...Option) *Server {
 	}
 	return s
 }
+
+// ID returns the broker's server ID (the RMSG origin tag).
+func (s *Server) ID() string { return s.id }
 
 // ListenAndServe listens on addr ("host:port", ":0" for ephemeral) and
 // serves until Shutdown. It returns once the listener is bound; serving
@@ -282,6 +395,38 @@ func (s *Server) ListenAndServe(addr string) error {
 	return nil
 }
 
+// ListenRoutes opens a dedicated listener for inter-broker route
+// connections (the -cluster-listen port). Routes speak the same framed
+// protocol — a connection becomes a route via the ROUTE handshake — so
+// this is an isolation knob, not a different stack: client traffic and
+// route traffic can be firewalled and provisioned separately.
+func (s *Server) ListenRoutes(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("broker: cluster listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	if s.shutdown {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("broker: server is shut down")
+	}
+	s.routeLns = append(s.routeLns, ln)
+	s.mu.Unlock()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			if s.startClient(conn) == nil {
+				return
+			}
+		}
+	}()
+	return nil
+}
+
 // Addr returns the bound listener address, or nil before ListenAndServe.
 func (s *Server) Addr() net.Addr {
 	s.mu.Lock()
@@ -290,6 +435,17 @@ func (s *Server) Addr() net.Addr {
 		return nil
 	}
 	return s.ln.Addr()
+}
+
+// RouteAddr returns the first bound route listener address, or nil when
+// routes share the client listener.
+func (s *Server) RouteAddr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.routeLns) == 0 {
+		return nil
+	}
+	return s.routeLns[0].Addr()
 }
 
 // Serve accepts connections on ln until Shutdown.
@@ -324,43 +480,99 @@ func (s *Server) startClient(conn net.Conn) *serverClient {
 		return nil
 	}
 	s.nextCID++
-	c := &serverClient{srv: s, conn: conn, id: s.nextCID, subs: make(map[string][]*serverSub)}
-	c.out.init(s.opts.queueFrames, s.opts.queueBytes, s.adm)
+	c := &serverClient{srv: s, id: s.nextCID, subs: make(map[string][]*serverSub)}
+	c.link.init(conn, s.opts.queueFrames, s.opts.queueBytes, s.adm)
 	s.clients[c] = struct{}{}
 	s.mu.Unlock()
 	st := &s.stats
 	st.write(func() { st.connections.Add(1) })
 	go c.run()
-	if s.opts.legacy {
-		go writeLoopLegacy(conn, &c.out)
-	} else {
-		go writeLoop(conn, &c.out, s.adm)
-	}
+	c.startWriter(s.opts.legacy, s.adm)
 	return c
 }
 
-// Shutdown closes the listener and every client connection.
+// Shutdown closes the listeners and every client and route connection.
 func (s *Server) Shutdown() {
+	conns := s.beginShutdown()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// DrainShutdown is the graceful stop: it stops accepting, closes every
+// connection's outbound queue so the writer drains and flushes what is
+// already queued, and waits up to timeout for the connections to wind
+// down before force-closing stragglers. Queued deliveries that had
+// already been routed reach their subscribers; a zero timeout degrades
+// to Shutdown.
+func (s *Server) DrainShutdown(timeout time.Duration) {
+	conns := s.beginShutdown()
+	if timeout <= 0 {
+		for _, c := range conns {
+			c.Close()
+		}
+		return
+	}
+	s.mu.Lock()
+	clients := make([]*serverClient, 0, len(s.clients))
+	for c := range s.clients {
+		clients = append(clients, c)
+	}
+	s.mu.Unlock()
+	// Closing the queue makes the writer drain the backlog, flush, and
+	// close the connection; the reader then unblocks and tears down.
+	for _, c := range clients {
+		c.out.close()
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		s.mu.Lock()
+		n := len(s.clients)
+		s.mu.Unlock()
+		if n == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			for _, c := range conns {
+				c.Close()
+			}
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// beginShutdown flips the shutdown flag, closes the listeners, and
+// returns every live connection (clients and routes) without closing
+// them — Shutdown and DrainShutdown differ only in what they do next.
+func (s *Server) beginShutdown() []net.Conn {
 	s.mu.Lock()
 	if s.shutdown {
 		s.mu.Unlock()
-		return
+		return nil
 	}
 	s.shutdown = true
-	close(s.quit) // wake any publisher parked on admission
+	close(s.quit) // wake parked publishers, route dialers, the monitor
 	ln := s.ln
+	rlns := s.routeLns
 	var conns []net.Conn
 	for c := range s.clients {
 		conns = append(conns, c.conn)
 	}
 	s.mu.Unlock()
+	s.fedMu.Lock()
+	for _, r := range s.routes {
+		conns = append(conns, r.ln.conn)
+	}
+	s.fedMu.Unlock()
+	for _, l := range rlns {
+		l.Close()
+	}
 	if ln != nil {
 		ln.Close()
 		<-s.done
 	}
-	for _, c := range conns {
-		c.Close()
-	}
+	return conns
 }
 
 // Stats returns an internally consistent snapshot of the broker
@@ -382,6 +594,10 @@ func (s *Server) Stats() ServerStats {
 				SlowConsumerDisconnects: c.slowDisconnects.Load(),
 				AdmissionWaits:          c.admissionWaits.Load(),
 				AdmissionTimeouts:       c.admissionTimeouts.Load(),
+				Routes:                  c.routes.Load(),
+				RemoteSubs:              c.remoteSubs.Load(),
+				RoutedMsgs:              c.routedMsgs.Load(),
+				DupsSuppressed:          c.dupsSuppressed.Load(),
 			}
 			if c.seq.Load() == s1 {
 				return snap
@@ -391,7 +607,7 @@ func (s *Server) Stats() ServerStats {
 	}
 }
 
-// NumSubscriptions returns the live subscription count.
+// NumSubscriptions returns the live local subscription count.
 func (s *Server) NumSubscriptions() int {
 	return int(s.numSubs.Load())
 }
@@ -419,14 +635,73 @@ type pendingPub struct {
 	pb     *payloadRef
 }
 
-// routeBatch delivers a batch of publishes in order. Consecutive
+// fwdEntry is one peer the current message must be forwarded to: plain
+// interest, queue-group picks that landed on that peer, or both. One
+// RMSG per entry carries it all — the per-peer dedup that makes mesh
+// delivery exactly-once.
+type fwdEntry struct {
+	rt     *route
+	queues []string
+}
+
+// fwdScratch is a reader goroutine's reusable forwarding accumulator.
+// Entries (and their queue-name backing slices) are recycled across
+// messages so the forwarding path allocates nothing in steady state.
+type fwdScratch struct {
+	entries []fwdEntry
+	n       int
+}
+
+func (f *fwdScratch) reset() {
+	for i := 0; i < f.n; i++ {
+		f.entries[i].rt = nil
+		f.entries[i].queues = f.entries[i].queues[:0]
+	}
+	f.n = 0
+}
+
+// add returns the entry for rt, creating it if this is the first
+// delivery decision for that peer in the current message.
+func (f *fwdScratch) add(rt *route) *fwdEntry {
+	for i := 0; i < f.n; i++ {
+		if f.entries[i].rt == rt {
+			return &f.entries[i]
+		}
+	}
+	if f.n < len(f.entries) {
+		f.entries[f.n].rt = rt
+	} else {
+		f.entries = append(f.entries, fwdEntry{rt: rt})
+	}
+	f.n++
+	return &f.entries[f.n-1]
+}
+
+// addQueue records a queue-group pick for the entry, deduplicating by
+// group name (two patterns matching the same group on the same peer
+// must not double-deliver).
+func (e *fwdEntry) addQueue(name string) {
+	for _, q := range e.queues {
+		if q == name {
+			return
+		}
+	}
+	e.queues = append(e.queues, name)
+}
+
+// routeBatch delivers a batch of client publishes in order. Consecutive
 // messages on the same shard reuse one lock acquisition, consecutive
 // messages on the same subject reuse one match result (valid for the
 // whole run because sub/unsub needs the same shard lock we hold), and
 // the batch's counter updates collapse into a single seqlock write.
 // Queue-group subscriptions receive one copy per group, on a member
-// chosen by the shard's seeded rng.
-func (s *Server) routeBatch(subjArena []byte, batch []pendingPub) {
+// chosen by the shard's seeded rng among local members and peer
+// interests alike — the pick that makes queue semantics mesh-wide.
+// Matching remote interests collapse into at most one origin-tagged
+// RMSG per peer per message (fwdScratch), and forwarded messages are
+// delivered only to that peer's local clients (route.go), so a publish
+// traverses at most one inter-broker hop and arrives exactly once.
+func (s *Server) routeBatch(subjArena []byte, batch []pendingPub, fwd *fwdScratch) {
 	var (
 		sh      *shard
 		shardID = -1
@@ -434,7 +709,7 @@ func (s *Server) routeBatch(subjArena []byte, batch []pendingPub) {
 		subject []byte
 
 		msgsOut, bytesOut, bytesIn uint64
-		drops, discs               uint64
+		drops, discs, routed       uint64
 	)
 	for i := range batch {
 		m := &batch[i]
@@ -455,7 +730,12 @@ func (s *Server) routeBatch(subjArena []byte, batch []pendingPub) {
 		}
 		pb := m.pb
 		plen := uint64(len(pb.data))
+		fwd.reset()
 		for _, sub := range rs.plain {
+			if sub.rt != nil {
+				fwd.add(sub.rt)
+				continue
+			}
 			switch sub.client.sendMsg(subj, sub.sid, pb) {
 			case sendOK:
 				msgsOut++
@@ -468,12 +748,25 @@ func (s *Server) routeBatch(subjArena []byte, batch []pendingPub) {
 		}
 		for _, members := range rs.queues {
 			pick := members[sh.rng.Intn(len(members))]
+			if pick.rt != nil {
+				fwd.add(pick.rt).addQueue(pick.queue)
+				continue
+			}
 			switch pick.client.sendMsg(subj, pick.sid, pb) {
 			case sendOK:
 				msgsOut++
 				bytesOut += plen
 			case sendDrop:
 				drops++
+			case sendDisconnect:
+				discs++
+			}
+		}
+		for j := 0; j < fwd.n; j++ {
+			e := &fwd.entries[j]
+			switch e.rt.sendRMsg(subj, s.id, e.queues, pb) {
+			case sendOK:
+				routed++
 			case sendDisconnect:
 				discs++
 			}
@@ -492,6 +785,9 @@ func (s *Server) routeBatch(subjArena []byte, batch []pendingPub) {
 		st.bytesIn.Add(bytesIn)
 		st.msgsOut.Add(msgsOut)
 		st.bytesOut.Add(bytesOut)
+		if routed > 0 {
+			st.routedMsgs.Add(routed)
+		}
 		if drops > 0 {
 			st.slowDrops.Add(drops)
 		}
@@ -512,6 +808,7 @@ func (s *Server) addSub(sub *serverSub) {
 	st := &s.stats
 	st.write(func() { st.subscriptions.Add(1) })
 	s.numSubs.Add(1)
+	s.interestAdd(sub.pattern, sub.queue)
 }
 
 func (s *Server) removeSub(c *serverClient, sid string) {
@@ -524,6 +821,7 @@ func (s *Server) removeSub(c *serverClient, sid string) {
 			sh.remove(sub)
 		})
 		s.numSubs.Add(-1)
+		s.interestDrop(sub.pattern, sub.queue)
 	}
 }
 
@@ -544,10 +842,17 @@ func (s *Server) eachPatternShard(pattern string, fn func(*shard)) {
 	}
 }
 
+// dropClient deregisters c and removes its subscriptions.
 func (s *Server) dropClient(c *serverClient) {
 	s.mu.Lock()
 	delete(s.clients, c)
 	s.mu.Unlock()
+	s.clearSubs(c)
+}
+
+// clearSubs removes every subscription c holds (used on teardown and
+// when a connection upgrades to a route, which keeps no client subs).
+func (s *Server) clearSubs(c *serverClient) {
 	c.smu.Lock()
 	all := c.subs
 	c.subs = make(map[string][]*serverSub)
@@ -558,21 +863,23 @@ func (s *Server) dropClient(c *serverClient) {
 				sh.remove(sub)
 			})
 			s.numSubs.Add(-1)
+			s.interestDrop(sub.pattern, sub.queue)
 		}
 	}
 }
 
 type serverClient struct {
-	srv  *Server
-	conn net.Conn
-	id   uint64
-	out  outQueue
+	link
+	srv *Server
+	id  uint64
 
 	// Ingest batch, reader goroutine only: parsed publishes waiting to be
-	// routed, their subjects packed into subjArena.
+	// routed, their subjects packed into subjArena, and the reusable
+	// route-forwarding accumulator.
 	pending      []pendingPub
 	pendingBytes int
 	subjArena    []byte
+	fwd          fwdScratch
 
 	smu  sync.Mutex
 	subs map[string][]*serverSub // sid -> subs (duplicate sids allowed)
@@ -589,15 +896,14 @@ func (c *serverClient) run() {
 		// flushes, and closes the connection.
 		c.out.close()
 	}()
-	r := bufio.NewReaderSize(c.conn, 64*1024)
 	var fields [8][]byte
 	for {
-		if len(c.pending) > 0 && !completeLineBuffered(r) {
+		if len(c.pending) > 0 && !c.completeLineBuffered() {
 			// The next read would block (or the buffer holds only a partial
 			// line): route what we have instead of sitting on it.
 			c.flushPubs()
 		}
-		line, err := readLineSlice(r)
+		line, err := readLineSlice(c.r)
 		if err != nil {
 			return
 		}
@@ -608,7 +914,7 @@ func (c *serverClient) run() {
 		cmd := nf[0]
 		switch {
 		case asciiFold(cmd, "PUB"):
-			if err := c.handlePub(nf, r); err != nil {
+			if err := c.handlePub(nf); err != nil {
 				return
 			}
 		case asciiFold(cmd, "SUB"):
@@ -628,27 +934,20 @@ func (c *serverClient) run() {
 			c.sendLine("PONG")
 		case asciiFold(cmd, "CONNECT"):
 			// Name is informational only.
+		case asciiFold(cmd, "ROUTE"):
+			// The peer is another broker: upgrade this connection to a
+			// route (route.go). The link — reader position, outbound
+			// queue, writer goroutine — carries over; only the command
+			// loop changes. acceptRoute returns when the route dies and
+			// the deferred client teardown completes the cleanup.
+			c.flushPubs()
+			c.srv.acceptRoute(c, nf)
+			return
 		default:
 			c.flushPubs()
 			c.sendErr("unknown command " + string(cmd))
 		}
 	}
-}
-
-// completeLineBuffered reports whether r already holds a full
-// CRLF-terminated line, i.e. whether another command can be parsed
-// without blocking. The scan typically ends at the next command's
-// terminator a few dozen bytes in.
-func completeLineBuffered(r *bufio.Reader) bool {
-	n := r.Buffered()
-	if n == 0 {
-		return false
-	}
-	buf, err := r.Peek(n)
-	if err != nil {
-		return false
-	}
-	return bytes.IndexByte(buf, '\n') >= 0
 }
 
 // flushPubs routes the client's pending ingest batch (admission first)
@@ -658,7 +957,7 @@ func (c *serverClient) flushPubs() {
 		return
 	}
 	c.srv.admitPublishes()
-	c.srv.routeBatch(c.subjArena, c.pending)
+	c.srv.routeBatch(c.subjArena, c.pending, &c.fwd)
 	for i := range c.pending {
 		c.pending[i].pb = nil
 	}
@@ -690,7 +989,7 @@ func (c *serverClient) handleSub(fields [][]byte) {
 // more buffered (see run), or — to preserve command order — before any
 // non-PUB command. A returned error tears the connection down (the
 // stream is unframeable).
-func (c *serverClient) handlePub(fields [][]byte, r *bufio.Reader) error {
+func (c *serverClient) handlePub(fields [][]byte) error {
 	if len(fields) != 3 {
 		c.flushPubs() // error replies keep command order, like any non-PUB
 		c.sendErr("PUB requires <subject> <nbytes>")
@@ -702,7 +1001,7 @@ func (c *serverClient) handlePub(fields [][]byte, r *bufio.Reader) error {
 		c.sendErr("bad payload size")
 		return errors.New("broker: bad payload size")
 	}
-	if len(c.pending) > 0 && r.Buffered() < n+2 {
+	if len(c.pending) > 0 && c.r.Buffered() < n+2 {
 		// The payload read below will block on the socket; route what we
 		// already have first so batching never delays delivery.
 		c.flushPubs()
@@ -712,14 +1011,8 @@ func (c *serverClient) handlePub(fields [][]byte, r *bufio.Reader) error {
 	// first.
 	subjOff := len(c.subjArena)
 	c.subjArena = append(c.subjArena, fields[1]...)
-	pb := arenaGet(n)
-	if _, err := io.ReadFull(r, pb.data); err != nil {
-		pb.release()
-		c.subjArena = c.subjArena[:subjOff]
-		return err
-	}
-	if err := consumeCRLF(r); err != nil {
-		pb.release()
+	pb, err := c.readPayload(n)
+	if err != nil {
 		c.subjArena = c.subjArena[:subjOff]
 		return err
 	}
@@ -744,7 +1037,7 @@ func (c *serverClient) handlePub(fields [][]byte, r *bufio.Reader) error {
 	return nil
 }
 
-// sendResult is the outcome of offering one delivery to a client.
+// sendResult is the outcome of offering one delivery to a connection.
 type sendResult int
 
 const (
@@ -754,134 +1047,10 @@ const (
 	sendDisconnect
 )
 
-// sendMsg enqueues one delivery; the frame header is pooled and the
-// frame takes one reference on the shared fan-out payload. The reference
-// is taken before enqueue — the writer may drain and release the frame
-// the instant enqueue returns — and given back on rejection (which can
-// never reach zero: the caller still holds the publisher reference).
+// sendMsg enqueues one delivery on the client's link; see link.enqueueMsg
+// for the reference discipline.
 func (c *serverClient) sendMsg(subject []byte, sid string, pb *payloadRef) sendResult {
-	f := outFrame{hdr: encodeMsgHeader(subject, sid, len(pb.data)), payload: pb.data, pb: pb}
-	pb.retain()
-	switch c.out.enqueue(f) {
-	case enqOK:
-		return sendOK
-	case enqClosed:
-		putHeaderBuf(f.hdr)
-		pb.release()
-		return sendClosed
-	default: // overflow: apply the slow-consumer policy
-		putHeaderBuf(f.hdr)
-		pb.release()
-		if c.srv.opts.slowPolicy == SlowConsumerDrop {
-			return sendDrop
-		}
-		c.out.discard()
-		c.conn.Close()
-		return sendDisconnect
-	}
-}
-
-func (c *serverClient) sendLine(line string) {
-	f := outFrame{hdr: encodeLine(line)}
-	if c.out.enqueue(f) != enqOK {
-		putHeaderBuf(f.hdr)
-	}
-}
-
-func (c *serverClient) sendErr(msg string) { c.sendLine("-ERR " + msg) }
-
-// encodeMsgHeader appends "MSG <subject> <sid> <n>\r\n" to a pooled buf.
-func encodeMsgHeader(subject []byte, sid string, n int) *headerBuf {
-	h := getHeaderBuf()
-	b := h.b
-	b = append(b, "MSG "...)
-	b = append(b, subject...)
-	b = append(b, ' ')
-	b = append(b, sid...)
-	b = append(b, ' ')
-	b = strconv.AppendInt(b, int64(n), 10)
-	b = append(b, '\r', '\n')
-	h.b = b
-	return h
-}
-
-// readLineSlice returns the next CRLF- (or LF-) terminated line without
-// the terminator. The slice borrows the reader's buffer and is only
-// valid until the next read; over-long lines fall back to copying.
-func readLineSlice(r *bufio.Reader) ([]byte, error) {
-	line, err := r.ReadSlice('\n')
-	if err == bufio.ErrBufferFull {
-		buf := append([]byte(nil), line...)
-		for err == bufio.ErrBufferFull {
-			line, err = r.ReadSlice('\n')
-			buf = append(buf, line...)
-		}
-		line = buf
-	}
-	if err != nil {
-		return nil, err
-	}
-	line = line[:len(line)-1]
-	if len(line) > 0 && line[len(line)-1] == '\r' {
-		line = line[:len(line)-1]
-	}
-	return line, nil
-}
-
-// splitFields splits on runs of spaces and tabs without allocating.
-func splitFields(line []byte, out [][]byte) [][]byte {
-	i := 0
-	for i < len(line) {
-		for i < len(line) && (line[i] == ' ' || line[i] == '\t') {
-			i++
-		}
-		if i >= len(line) {
-			break
-		}
-		j := i
-		for j < len(line) && line[j] != ' ' && line[j] != '\t' {
-			j++
-		}
-		out = append(out, line[i:j])
-		i = j
-	}
-	return out
-}
-
-// asciiFold reports whether b equals upper (an upper-case ASCII literal)
-// ignoring case.
-func asciiFold(b []byte, upper string) bool {
-	if len(b) != len(upper) {
-		return false
-	}
-	for i := 0; i < len(b); i++ {
-		ch := b[i]
-		if 'a' <= ch && ch <= 'z' {
-			ch -= 'a' - 'A'
-		}
-		if ch != upper[i] {
-			return false
-		}
-	}
-	return true
-}
-
-// parseSize parses a payload size in [0, MaxPayload].
-func parseSize(b []byte) (int, bool) {
-	if len(b) == 0 || len(b) > 8 {
-		return 0, false
-	}
-	n := 0
-	for _, ch := range b {
-		if ch < '0' || ch > '9' {
-			return 0, false
-		}
-		n = n*10 + int(ch-'0')
-	}
-	if n > MaxPayload {
-		return 0, false
-	}
-	return n, true
+	return c.enqueueMsg(encodeMsgHeader(subject, sid, len(pb.data)), pb, c.srv.opts.slowPolicy)
 }
 
 // validSubjectBytes is the allocation-free publish-subject check:
@@ -904,30 +1073,4 @@ func validSubjectBytes(b []byte) bool {
 		prev = ch
 	}
 	return prev != '.'
-}
-
-// readLine reads a CRLF- (or LF-) terminated line without the
-// terminator (used by the client's reader, which owns its strings).
-func readLine(r *bufio.Reader) (string, error) {
-	line, err := r.ReadString('\n')
-	if err != nil {
-		return "", err
-	}
-	return strings.TrimRight(line, "\r\n"), nil
-}
-
-func consumeCRLF(r *bufio.Reader) error {
-	b, err := r.ReadByte()
-	if err != nil {
-		return err
-	}
-	if b == '\r' {
-		if b, err = r.ReadByte(); err != nil {
-			return err
-		}
-	}
-	if b != '\n' {
-		return errors.New("broker: payload not terminated by CRLF")
-	}
-	return nil
 }

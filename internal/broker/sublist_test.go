@@ -150,3 +150,70 @@ func TestShardIndexRouting(t *testing.T) {
 		t.Errorf("shard index %d out of range", got)
 	}
 }
+
+// TestUnsubWildcardFirstCleansAllShards pins the replicated-removal
+// path: a wildcard-first pattern is inserted into every shard by
+// eachPatternShard, so UNSUB must remove it from every shard, prune the
+// emptied trie paths, and bump every shard's generation so stale cached
+// match results are revalidated away.
+func TestUnsubWildcardFirstCleansAllShards(t *testing.T) {
+	const shards = 8
+	s := NewServer(WithSeed(1), WithShards(shards))
+	c := &serverClient{srv: s, subs: make(map[string][]*serverSub)}
+	c.out.init(1<<10, 1<<20, nil)
+	sub := &serverSub{client: c, pattern: "*.alerts", sid: "w1"}
+	s.addSub(sub)
+
+	// One concrete subject per shard, found by hashing candidate first
+	// tokens — so every shard's match cache gets primed with an entry
+	// that includes the wildcard sub.
+	subjects := make([]string, shards)
+	for i := 0; len(subjects[i%shards]) == 0 || i < shards; i++ {
+		subj := fmt.Sprintf("tok%d.alerts", i)
+		idx := shardIndex(subj, shards)
+		if subjects[idx] == "" {
+			subjects[idx] = subj
+		}
+		done := true
+		for _, s := range subjects {
+			if s == "" {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+	}
+	gens := make([]uint64, shards)
+	for i, sh := range s.shards {
+		if !shardMatchSubs(sh, subjects[i])[sub] {
+			t.Fatalf("shard %d: wildcard-first sub not matched by %q before UNSUB", i, subjects[i])
+		}
+		sh.mu.Lock()
+		if _, ok := sh.cache[subjects[i]]; !ok {
+			t.Fatalf("shard %d: match did not prime the cache", i)
+		}
+		gens[i] = sh.gen
+		sh.mu.Unlock()
+	}
+
+	s.removeSub(c, "w1")
+
+	if n := s.NumSubscriptions(); n != 0 {
+		t.Fatalf("NumSubscriptions = %d after UNSUB, want 0", n)
+	}
+	for i, sh := range s.shards {
+		if got := shardMatchSubs(sh, subjects[i]); len(got) != 0 {
+			t.Errorf("shard %d: %d subs still matched after UNSUB", i, len(got))
+		}
+		sh.mu.Lock()
+		if sh.gen == gens[i] {
+			t.Errorf("shard %d: generation unchanged by UNSUB — stale cache entries would survive", i)
+		}
+		if !sh.root.empty() {
+			t.Errorf("shard %d: trie path not pruned after UNSUB", i)
+		}
+		sh.mu.Unlock()
+	}
+}
